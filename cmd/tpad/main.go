@@ -1,0 +1,66 @@
+// Command tpad serves TPA queries over HTTP:
+//
+//	tpad -graph edges.tsv [-index prebuilt.idx] [-addr :8080] [-s 5 -t 10]
+//
+// It loads (or computes) the TPA index for the graph, then serves:
+//
+//	GET  /topk?seed=42&k=10
+//	GET  /score?seed=42&node=7
+//	POST /queryset  {"seeds":[1,2,3],"k":10}
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"tpa"
+	"tpa/internal/server"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge-list file (required)")
+	indexPath := flag.String("index", "", "optional prebuilt index (from `tpa preprocess`)")
+	addr := flag.String("addr", ":8080", "listen address")
+	o := tpa.Defaults()
+	flag.Float64Var(&o.C, "c", o.C, "restart probability")
+	flag.Float64Var(&o.Eps, "eps", o.Eps, "convergence tolerance")
+	flag.IntVar(&o.S, "s", o.S, "neighbor-part start iteration S")
+	flag.IntVar(&o.T, "t", o.T, "stranger-part start iteration T")
+	flag.Parse()
+
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "tpad: -graph is required")
+		os.Exit(2)
+	}
+	g, err := tpa.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatalf("tpad: loading graph: %v", err)
+	}
+	var eng *tpa.Engine
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatalf("tpad: opening index: %v", err)
+		}
+		eng, err = tpa.LoadIndex(f, g)
+		f.Close()
+		if err != nil {
+			log.Fatalf("tpad: loading index: %v", err)
+		}
+	} else {
+		eng, err = tpa.New(g, o)
+		if err != nil {
+			log.Fatalf("tpad: preprocessing: %v", err)
+		}
+	}
+	s, t := eng.Params()
+	log.Printf("tpad: serving %d nodes / %d edges (S=%d T=%d, index %d bytes) on %s",
+		g.NumNodes(), g.NumEdges(), s, t, eng.IndexBytes(), *addr)
+	h := server.New(eng, server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: *graphPath})
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,77 @@
+package tpa_test
+
+import (
+	"fmt"
+	"math"
+
+	"tpa"
+)
+
+// ExampleNew demonstrates the preprocess-once / query-many flow on a
+// synthetic community graph.
+func ExampleNew() {
+	g := tpa.RandomCommunityGraph(1000, 12000, 8, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	scores, err := eng.Query(123)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scores for %d nodes, total mass %.2f\n", len(scores), sum(scores))
+	fmt.Printf("index size: %d bytes (8 per node)\n", eng.IndexBytes())
+	// Output:
+	// scores for 1000 nodes, total mass 1.00
+	// index size: 8000 bytes (8 per node)
+}
+
+// ExampleEngine_TopK ranks the nodes most relevant to a seed.
+func ExampleEngine_TopK() {
+	g := tpa.RandomCommunityGraph(1000, 12000, 8, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	top, err := eng.TopK(123, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top result is the seed itself: %v\n", top[0].Index == 123)
+	fmt.Printf("scores descend: %v\n", top[0].Score >= top[1].Score && top[1].Score >= top[2].Score)
+	// Output:
+	// top result is the seed itself: true
+	// scores descend: true
+}
+
+// ExampleExact validates the approximation against the exact solver.
+func ExampleExact() {
+	g := tpa.RandomCommunityGraph(1000, 12000, 8, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	approx, err := eng.Query(123)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := tpa.Exact(g, 123, tpa.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	var l1 float64
+	for i := range exact {
+		l1 += math.Abs(exact[i] - approx[i])
+	}
+	fmt.Printf("error within Theorem 2 bound: %v\n", l1 <= eng.ErrorBound())
+	// Output:
+	// error within Theorem 2 bound: true
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

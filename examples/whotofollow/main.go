@@ -1,0 +1,63 @@
+// Who-to-follow: the recommendation workload from the paper's accuracy
+// discussion (§IV-B3, citing Twitter's WTF service): for a user, rank all
+// other users by RWR score and recommend the top-k they do not already
+// follow. TPA answers each user's recommendation query with S propagation
+// steps instead of a full RWR solve.
+//
+//	go run ./examples/whotofollow
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tpa"
+)
+
+func main() {
+	// A follower network with strong communities (interest groups).
+	g := tpa.RandomCommunityGraph(8000, 120000, 24, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d users, %d follows\n\n", g.NumNodes(), g.NumEdges())
+
+	for _, user := range []int{10, 2500, 7000} {
+		start := time.Now()
+		// Over-fetch then filter out the user itself and existing follows.
+		candidates, err := eng.TopK(user, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var recs []tpa.Entry
+		for _, e := range candidates {
+			if e.Index == user || g.HasEdge(user, e.Index) {
+				continue
+			}
+			recs = append(recs, e)
+			if len(recs) == 5 {
+				break
+			}
+		}
+		fmt.Printf("user %4d — recommendations in %v:\n", user, time.Since(start).Round(time.Microsecond))
+		for i, e := range recs {
+			mutuals := countMutuals(g, user, e.Index)
+			fmt.Printf("  %d. user %4d (score %.5f, %d mutual follows)\n", i+1, e.Index, e.Score, mutuals)
+		}
+		fmt.Println()
+	}
+}
+
+// countMutuals counts nodes that `user` follows which also follow `cand` —
+// a human-readable explanation for why the walk ranks cand highly.
+func countMutuals(g *tpa.Graph, user, cand int) int {
+	var n int
+	for _, v := range g.OutNeighbors(user) {
+		if g.HasEdge(int(v), cand) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+package bear
+
+import (
+	"fmt"
+	"math"
+
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// Options configure the block-elimination preprocessing.
+type Options struct {
+	// MaxBlock caps spoke-block sizes (and thus dense-inverse cost).
+	MaxBlock int
+	// HubFrac is the per-round hub removal fraction of the decomposition.
+	HubFrac float64
+	// DropTol sparsifies BEAR-APPROX's precomputed inverses: entries with
+	// absolute value ≤ DropTol are discarded. The paper sets it to
+	// n^(-1/2). Ignored by BePI (exact).
+	DropTol float64
+}
+
+// DefaultOptions returns the paper-aligned settings for an n-node graph:
+// drop tolerance n^(-1/2), blocks of at most 200 nodes.
+func DefaultOptions(n int) Options {
+	return Options{MaxBlock: 200, HubFrac: 0.02, DropTol: 1 / math.Sqrt(float64(n))}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.MaxBlock < 1 {
+		return fmt.Errorf("bear: MaxBlock %d must be positive", o.MaxBlock)
+	}
+	if o.HubFrac <= 0 || o.HubFrac > 0.5 {
+		return fmt.Errorf("bear: HubFrac %v outside (0,0.5]", o.HubFrac)
+	}
+	if o.DropTol < 0 {
+		return fmt.Errorf("bear: negative DropTol %v", o.DropTol)
+	}
+	return nil
+}
+
+// Bear is a preprocessed BEAR-APPROX instance: explicit, drop-sparsified
+// inverses of the H11 blocks and of the Schur complement.
+type Bear struct {
+	elim    *elimination
+	invH11  []*sparse.Dense // per-block inverses, dropped
+	invS    *sparse.Dense   // S⁻¹, dropped
+	dropped int             // total entries dropped (diagnostics)
+}
+
+// Preprocess builds the BEAR-APPROX index.
+func Preprocess(w *graph.Walk, cfg rwr.Config, opts Options) (*Bear, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := buildElimination(w, cfg, opts.MaxBlock, opts.HubFrac)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bear{elim: e, invH11: make([]*sparse.Dense, len(e.blocks))}
+	for bi, blk := range e.h11 {
+		inv, err := sparse.Invert(blk)
+		if err != nil {
+			return nil, fmt.Errorf("bear: inverting spoke block %d: %w", bi, err)
+		}
+		b.invH11[bi] = inv
+	}
+	s := e.schur(func(bi int, sub sparse.Vector) sparse.Vector {
+		return b.invH11[bi].MulVec(sub)
+	})
+	invS := sparse.Eye(0)
+	if e.n2 > 0 {
+		invS, err = sparse.Invert(s)
+		if err != nil {
+			return nil, fmt.Errorf("bear: inverting Schur complement: %w", err)
+		}
+	}
+	b.invS = invS
+	// Drop tolerance: sparsify the precomputed matrices (the "APPROX" in
+	// BEAR-APPROX).
+	if opts.DropTol > 0 {
+		for _, inv := range b.invH11 {
+			b.dropped += inv.Drop(opts.DropTol)
+		}
+		b.dropped += b.invS.Drop(opts.DropTol)
+	}
+	return b, nil
+}
+
+// applyInvH11 computes H11⁻¹·x block by block.
+func (b *Bear) applyInvH11(x sparse.Vector) sparse.Vector {
+	y := sparse.NewVector(b.elim.n1)
+	for bi, br := range b.elim.blocks {
+		inv := b.invH11[bi]
+		sz := br.hi - br.lo
+		for i := 0; i < sz; i++ {
+			row := inv.Row(i)
+			var s float64
+			for j := 0; j < sz; j++ {
+				s += row[j] * x[br.lo+j]
+			}
+			y[br.lo+i] = s
+		}
+	}
+	return y
+}
+
+// Query computes the approximate RWR vector for the seed via block
+// elimination with the precomputed inverses.
+func (b *Bear) Query(seed int) (sparse.Vector, error) {
+	return elimQuery(b.elim, seed, b.applyInvH11, func(rhs sparse.Vector) (sparse.Vector, error) {
+		return b.invS.MulVec(rhs), nil
+	})
+}
+
+// IndexBytes returns the accounted size of the preprocessed matrices
+// (sparse storage of surviving entries).
+func (b *Bear) IndexBytes() int64 {
+	var t int64
+	for _, inv := range b.invH11 {
+		t += inv.Bytes()
+	}
+	t += b.invS.Bytes()
+	t += b.elim.h12.bytes() + b.elim.h21.bytes()
+	t += int64(len(b.elim.perm)) * 8 // permutation
+	return t
+}
+
+// Dropped returns how many precomputed entries the drop tolerance removed.
+func (b *Bear) Dropped() int { return b.dropped }
+
+// Hubs returns the hub count n2 of the decomposition.
+func (b *Bear) Hubs() int { return b.elim.n2 }
+
+// BePI is a preprocessed BePI instance: exact LU factors of the H11 blocks
+// and of the Schur complement; queries solve rather than multiply. It is
+// the exact method used as ground truth in the paper's experiments.
+type BePI struct {
+	elim  *elimination
+	luH11 []*sparse.LU
+	luS   *sparse.LU // nil when there are no hubs
+}
+
+// PreprocessBePI builds the BePI index. DropTol in opts is ignored.
+func PreprocessBePI(w *graph.Walk, cfg rwr.Config, opts Options) (*BePI, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := buildElimination(w, cfg, opts.MaxBlock, opts.HubFrac)
+	if err != nil {
+		return nil, err
+	}
+	p := &BePI{elim: e, luH11: make([]*sparse.LU, len(e.blocks))}
+	for bi, blk := range e.h11 {
+		lu, err := sparse.Factorize(blk)
+		if err != nil {
+			return nil, fmt.Errorf("bear: factorizing spoke block %d: %w", bi, err)
+		}
+		p.luH11[bi] = lu
+	}
+	s := e.schur(func(bi int, sub sparse.Vector) sparse.Vector {
+		sol, err := p.luH11[bi].Solve(sub)
+		if err != nil {
+			// Factorization already succeeded; Solve cannot fail here.
+			panic(fmt.Sprintf("bear: block solve: %v", err))
+		}
+		return sol
+	})
+	if e.n2 > 0 {
+		lu, err := sparse.Factorize(s)
+		if err != nil {
+			return nil, fmt.Errorf("bear: factorizing Schur complement: %w", err)
+		}
+		p.luS = lu
+	}
+	return p, nil
+}
+
+// solveH11 computes H11⁻¹·x by per-block LU solves.
+func (p *BePI) solveH11(x sparse.Vector) sparse.Vector {
+	y := sparse.NewVector(p.elim.n1)
+	for bi, br := range p.elim.blocks {
+		sz := br.hi - br.lo
+		sub := make(sparse.Vector, sz)
+		copy(sub, x[br.lo:br.hi])
+		sol, err := p.luH11[bi].Solve(sub)
+		if err != nil {
+			// Factorization already succeeded; Solve cannot fail here.
+			panic(fmt.Sprintf("bear: block solve: %v", err))
+		}
+		copy(y[br.lo:br.hi], sol)
+	}
+	return y
+}
+
+// Query computes the exact RWR vector for the seed.
+func (p *BePI) Query(seed int) (sparse.Vector, error) {
+	return elimQuery(p.elim, seed, p.solveH11, func(rhs sparse.Vector) (sparse.Vector, error) {
+		if p.luS == nil {
+			return sparse.NewVector(0), nil
+		}
+		return p.luS.Solve(rhs)
+	})
+}
+
+// IndexBytes returns the accounted size of BePI's preprocessed data: the
+// LU factors under sparse storage (memory efficiency is BePI's design
+// goal — it never materializes explicit inverses), the off-diagonal
+// blocks, and the permutation.
+func (p *BePI) IndexBytes() int64 {
+	var t int64
+	for _, lu := range p.luH11 {
+		t += lu.Bytes()
+	}
+	if p.luS != nil {
+		t += p.luS.Bytes()
+	}
+	t += p.elim.h12.bytes() + p.elim.h21.bytes()
+	t += int64(len(p.elim.perm)) * 8
+	return t
+}
+
+// Hubs returns the hub count n2 of the decomposition.
+func (p *BePI) Hubs() int { return p.elim.n2 }
+
+// elimQuery runs the shared block-elimination solve:
+//
+//	r2 = S⁻¹(c·q2 − H21·H11⁻¹·c·q1)
+//	r1 = H11⁻¹(c·q1 − H12·r2)
+func elimQuery(e *elimination, seed int,
+	applyInv func(sparse.Vector) sparse.Vector,
+	solveS func(sparse.Vector) (sparse.Vector, error)) (sparse.Vector, error) {
+	n := len(e.perm)
+	if seed < 0 || seed >= n {
+		return nil, fmt.Errorf("bear: seed %d outside [0,%d)", seed, n)
+	}
+	c := e.cfg.C
+	q1 := sparse.NewVector(e.n1)
+	q2 := sparse.NewVector(e.n2)
+	if ps := e.perm[seed]; ps < e.n1 {
+		q1[ps] = c
+	} else {
+		q2[ps-e.n1] = c
+	}
+	t1 := applyInv(q1)
+	rhs2 := q2.Clone().Sub(e.h21.mulVec(t1, e.n2))
+	r2, err := solveS(rhs2)
+	if err != nil {
+		return nil, err
+	}
+	t2 := e.h12.mulVec(r2, e.n1)
+	r1 := applyInv(q1.Clone().Sub(t2))
+	// Un-permute.
+	r := sparse.NewVector(n)
+	for i := 0; i < e.n1; i++ {
+		r[e.inv[i]] = r1[i]
+	}
+	for i := 0; i < e.n2; i++ {
+		r[e.inv[e.n1+i]] = r2[i]
+	}
+	return r, nil
+}

@@ -1,0 +1,239 @@
+package bear
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func bearWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(250, 2000, 5, 0.2, 601)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{MaxBlock: 0, HubFrac: 0.02},
+		{MaxBlock: 10, HubFrac: 0},
+		{MaxBlock: 10, HubFrac: 0.6},
+		{MaxBlock: 10, HubFrac: 0.02, DropTol: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+// BePI is exact: it must match power iteration to solver precision.
+func TestBePIExact(t *testing.T) {
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	opts := DefaultOptions(w.N())
+	p, err := PreprocessBePI(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 77, 249} {
+		exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := exact.L1Dist(got); d > 1e-6 {
+			t.Errorf("seed %d: BePI deviates from exact by %g", seed, d)
+		}
+	}
+}
+
+func TestBePIMatchesDenseSolve(t *testing.T) {
+	g := gen.CommunityRMAT(120, 900, 4, 0.2, 602)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	p, err := PreprocessBePI(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{5, 60} {
+		dense, err := rwr.DenseExact(w, []int{seed}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.L1Dist(got); d > 1e-8 {
+			t.Errorf("seed %d: BePI vs dense solve L1 = %g", seed, d)
+		}
+	}
+}
+
+// BEAR-APPROX with zero drop tolerance is also exact.
+func TestBearZeroDropIsExact(t *testing.T) {
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	opts := DefaultOptions(w.N())
+	opts.DropTol = 0
+	b, err := Preprocess(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 33
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(got); d > 1e-6 {
+		t.Errorf("BEAR(drop=0) deviates by %g", d)
+	}
+}
+
+// With the paper's n^(-1/2) drop tolerance, BEAR-APPROX stays accurate but
+// its index shrinks.
+func TestBearDropToleranceTradeoff(t *testing.T) {
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	exactOpts := DefaultOptions(w.N())
+	exactOpts.DropTol = 0
+	be, err := Preprocess(w, cfg, exactOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropOpts := DefaultOptions(w.N())
+	bd, err := Preprocess(w, cfg, dropOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Dropped() == 0 {
+		t.Error("drop tolerance removed nothing")
+	}
+	if bd.IndexBytes() >= be.IndexBytes() {
+		t.Errorf("dropped index not smaller: %d vs %d", bd.IndexBytes(), be.IndexBytes())
+	}
+	exact, _, err := rwr.PowerIteration(w, []int{10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bd.Query(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(got); d > 0.3 {
+		t.Errorf("BEAR-APPROX error %g too large", d)
+	}
+}
+
+func TestQuerySeedValidation(t *testing.T) {
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	b, err := Preprocess(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Query(-1); err == nil {
+		t.Error("negative seed accepted")
+	}
+	if _, err := b.Query(10_000); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestHubSeedQuery(t *testing.T) {
+	// Querying with a hub node as seed exercises the q2 path.
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	p, err := PreprocessBePI(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hubs() == 0 {
+		t.Skip("decomposition produced no hubs")
+	}
+	hub := p.elim.inv[p.elim.n1] // first hub in the ordering
+	exact, _, err := rwr.PowerIteration(w, []int{hub}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Query(hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(got); d > 1e-6 {
+		t.Errorf("hub-seed query deviates by %g", d)
+	}
+}
+
+func TestNoHubGraph(t *testing.T) {
+	// Two disjoint triangles decompose into spokes only (no hubs); the
+	// Schur machinery must handle n2 = 0.
+	b := graph.NewBuilderN(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	w := graph.NewWalk(b.Build(), graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	p, err := PreprocessBePI(w, cfg, Options{MaxBlock: 3, HubFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hubs() != 0 {
+		t.Fatalf("expected no hubs, got %d", p.Hubs())
+	}
+	exact, _, err := rwr.PowerIteration(w, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(got); d > 1e-8 {
+		t.Errorf("no-hub query deviates by %g", d)
+	}
+}
+
+func TestBePIMassOne(t *testing.T) {
+	w := bearWalk(t)
+	p, err := PreprocessBePI(w, rwr.DefaultConfig(), DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Query(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Sum()-1) > 1e-9 {
+		t.Errorf("BePI mass %g", r.Sum())
+	}
+}
+
+func TestIndexBytesPositive(t *testing.T) {
+	w := bearWalk(t)
+	cfg := rwr.DefaultConfig()
+	b, err := Preprocess(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PreprocessBePI(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IndexBytes() <= 0 || p.IndexBytes() <= 0 {
+		t.Errorf("index bytes: bear=%d bepi=%d", b.IndexBytes(), p.IndexBytes())
+	}
+}

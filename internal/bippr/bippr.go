@@ -1,0 +1,97 @@
+// Package bippr implements BiPPR (Lofgren, Banerjee, Goel — WSDM 2016,
+// [18] in the paper): single-pair personalized PageRank estimation by a
+// bidirectional combination of backward push from the target and forward
+// Monte-Carlo walks from the source, through the identity
+//
+//	π_s(t) = reserve_t(s) + Σ_v π_s(v)·residual_t(v)
+//	       = reserve_t(s) + E_{X~π_s}[ residual_t(X) ].
+//
+// HubPPR (internal/hubppr) is BiPPR plus hub indexing; this package is the
+// index-free original, included because the paper's related-work section
+// positions HubPPR against it.
+package bippr
+
+import (
+	"fmt"
+	"math"
+
+	"tpa/internal/graph"
+	"tpa/internal/mc"
+	"tpa/internal/push"
+)
+
+// Options configure BiPPR's accuracy/work trade-off.
+type Options struct {
+	C      float64 // restart probability
+	Delta  float64 // score threshold δ below which guarantees lapse
+	PFail  float64 // failure probability
+	EpsRel float64 // relative error at scores above δ
+	Seed   int64
+}
+
+// DefaultOptions mirrors the common (δ, p_f, ε) = (1/n, 1/n, 0.5) setting.
+func DefaultOptions(n int) Options {
+	nf := float64(n)
+	return Options{C: 0.15, Delta: 1 / nf, PFail: 1 / nf, EpsRel: 0.5, Seed: 1}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("bippr: restart probability %v outside (0,1)", o.C)
+	}
+	if o.Delta <= 0 || o.PFail <= 0 || o.PFail >= 1 || o.EpsRel <= 0 {
+		return fmt.Errorf("bippr: invalid quality parameters δ=%v p_f=%v ε=%v", o.Delta, o.PFail, o.EpsRel)
+	}
+	return nil
+}
+
+// BiPPR is a query engine over one graph (no preprocessing state beyond
+// the walker's PRNG).
+type BiPPR struct {
+	walk  *graph.Walk
+	opts  Options
+	wk    *mc.Walker
+	rmaxB float64
+	walks int
+}
+
+// New builds a BiPPR engine. The balanced parameters follow the paper's
+// analysis: rmax_b = ε·sqrt(δ), W = Θ(rmax_b·log(1/p_f)/(ε²δ)).
+func New(w *graph.Walk, opts Options) (*BiPPR, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	wk, err := mc.NewWalker(w, opts.C, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	b := &BiPPR{walk: w, opts: opts, wk: wk}
+	b.rmaxB = opts.EpsRel * math.Sqrt(opts.Delta)
+	wreq := b.rmaxB * (2*opts.EpsRel/3 + 2) * math.Log(2/opts.PFail) / (opts.EpsRel * opts.EpsRel * opts.Delta)
+	b.walks = int(math.Ceil(wreq))
+	if b.walks < 1 {
+		b.walks = 1
+	}
+	return b, nil
+}
+
+// Walks returns the forward-walk count per pair query.
+func (b *BiPPR) Walks() int { return b.walks }
+
+// Pair estimates π_s(t).
+func (b *BiPPR) Pair(s, t int) (float64, error) {
+	n := b.walk.N()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return 0, fmt.Errorf("bippr: pair (%d,%d) outside [0,%d)", s, t, n)
+	}
+	br, err := push.Backward(b.walk, t, b.opts.C, b.rmaxB)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := 0; i < b.walks; i++ {
+		sum += br.Residual[b.wk.Step(s)]
+	}
+	return br.Reserve[s] + sum/float64(b.walks), nil
+}

@@ -1,0 +1,94 @@
+package bippr
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func biWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(200, 1800, 4, 0.2, 801)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{C: 0, Delta: 0.01, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: 0, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: 0.01, PFail: 0, EpsRel: 0.5},
+		{C: 0.15, Delta: 0.01, PFail: 0.01, EpsRel: 0},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestPairAccuracyOnTopScores(t *testing.T) {
+	w := biWalk(t)
+	b, err := New(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Walks() < 1 {
+		t.Fatal("walk count not positive")
+	}
+	seed := 42
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exact.TopK(10) {
+		got, err := b.Pair(seed, e.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-e.Score) / e.Score; rel > 1.0 {
+			t.Errorf("pair (%d,%d): got %g want %g", seed, e.Index, got, e.Score)
+		}
+	}
+}
+
+func TestPairSelfScoreLargest(t *testing.T) {
+	// π_s(s) is the largest entry at c = 0.5; BiPPR must see that.
+	w := biWalk(t)
+	o := DefaultOptions(w.N())
+	o.C = 0.5
+	b, err := New(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := b.Pair(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := b.Pair(7, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self <= other {
+		t.Errorf("π_7(7)=%g not above π_7(150)=%g", self, other)
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	w := biWalk(t)
+	b, err := New(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Pair(-1, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := b.Pair(0, 999); err == nil {
+		t.Error("bad target accepted")
+	}
+}

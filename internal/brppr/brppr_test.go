@@ -1,0 +1,195 @@
+package brppr
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func brWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(300, 3000, 5, 0.2, 501)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{C: 0, Expand: 1e-4, Kappa: 1e-3, Eps: 1e-9, MaxRounds: 10},
+		{C: 0.15, Expand: 0, Kappa: 1e-3, Eps: 1e-9, MaxRounds: 10},
+		{C: 0.15, Expand: 1e-4, Kappa: 0, Eps: 1e-9, MaxRounds: 10},
+		{C: 0.15, Expand: 1e-4, Kappa: 1e-3, Eps: 0, MaxRounds: 10},
+		{C: 0.15, Expand: 1e-4, Kappa: 1e-3, Eps: 1e-9, MaxRounds: 0},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestQueryApproximatesExact(t *testing.T) {
+	w := brWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{25}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Query(w, 25, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active == 0 || res.Rounds == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if d := exact.L1Dist(res.Scores); d > 0.25 {
+		t.Errorf("L1 error %g too large", d)
+	}
+	// The seed must be activated and carry the largest score.
+	argmax, _ := res.Scores.Max()
+	if argmax != 25 && exact.TopK(1)[0].Index == 25 {
+		t.Errorf("seed lost its top rank: argmax=%d", argmax)
+	}
+}
+
+func TestTighterKappaImproves(t *testing.T) {
+	w := brWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{7}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := DefaultOptions()
+	loose.Kappa = 0.2
+	loose.Expand = 1e-2
+	tight := DefaultOptions()
+	tight.Kappa = 1e-4
+	tight.Expand = 1e-6
+	rl, err := Query(w, 7, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Query(w, 7, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, et := exact.L1Dist(rl.Scores), exact.L1Dist(rt.Scores)
+	if et > el+1e-9 {
+		t.Errorf("tighter κ did not improve: loose %g vs tight %g", el, et)
+	}
+	if rt.Active < rl.Active {
+		t.Errorf("tighter κ activated fewer nodes: %d vs %d", rt.Active, rl.Active)
+	}
+}
+
+func TestActiveSetIsLocal(t *testing.T) {
+	// On a strongly community-structured graph with a loose κ, BRPPR
+	// should activate well under the whole graph.
+	g := gen.SBM(gen.SBMConfig{Nodes: 500, Communities: 10, AvgOutDeg: 8, PIn: 0.95, Seed: 42})
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	o := DefaultOptions()
+	o.Kappa = 0.05
+	o.Expand = 1e-3
+	res, err := Query(w, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active >= 500 {
+		t.Errorf("BRPPR activated the entire graph (%d nodes)", res.Active)
+	}
+}
+
+func TestScoresSubstochastic(t *testing.T) {
+	w := brWalk(t)
+	res, err := Query(w, 99, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scores.Sum()
+	if s > 1+1e-6 {
+		t.Errorf("scores sum %g exceeds 1", s)
+	}
+	if s < 0.5 {
+		t.Errorf("scores sum %g suspiciously low", s)
+	}
+	for v, x := range res.Scores {
+		if x < -1e-12 {
+			t.Fatalf("negative score at %d: %g", v, x)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	w := brWalk(t)
+	if _, err := Query(w, -1, DefaultOptions()); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := Query(w, 0, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}
+
+func TestIsolatedSeed(t *testing.T) {
+	// A seed with no out-edges keeps all mass (self-loop semantics).
+	g := graph.FromEdges(4, [][2]int{{1, 2}, {2, 3}})
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	res, err := Query(w, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Scores[0]-1) > 1e-6 {
+		t.Errorf("isolated seed score %g, want 1", res.Scores[0])
+	}
+}
+
+func TestRPPRApproximatesExact(t *testing.T) {
+	w := brWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{25}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Expand = 1e-5
+	res, err := QueryRestricted(w, 25, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active == 0 {
+		t.Fatal("no active nodes")
+	}
+	if d := exact.L1Dist(res.Scores); d > 0.3 {
+		t.Errorf("RPPR L1 error %g too large", d)
+	}
+}
+
+func TestRPPRCoarserThresholdActivatesFewer(t *testing.T) {
+	w := brWalk(t)
+	coarse := DefaultOptions()
+	coarse.Expand = 1e-2
+	fine := DefaultOptions()
+	fine.Expand = 1e-6
+	rc, err := QueryRestricted(w, 7, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := QueryRestricted(w, 7, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Active > rf.Active {
+		t.Errorf("coarser threshold activated more: %d vs %d", rc.Active, rf.Active)
+	}
+}
+
+func TestRPPRErrors(t *testing.T) {
+	w := brWalk(t)
+	if _, err := QueryRestricted(w, -1, DefaultOptions()); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := QueryRestricted(w, 0, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}

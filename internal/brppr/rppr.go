@@ -1,0 +1,102 @@
+package brppr
+
+import (
+	"fmt"
+
+	"tpa/internal/graph"
+	"tpa/internal/sparse"
+)
+
+// QueryRestricted implements RPPR — restricted personalized PageRank, the
+// simpler sibling of BRPPR from the same Gleich & Polito paper that the
+// paper's experiment setup tunes alongside BRPPR ("the threshold to expand
+// nodes in RPPR and BRPPR is set to 1e-4"). Instead of BRPPR's global
+// frontier-mass κ stopping rule, RPPR expands any active node whose
+// current rank exceeds the threshold and stops when no expansion happens.
+func QueryRestricted(w *graph.Walk, seed int, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := w.N()
+	if seed < 0 || seed >= n {
+		return nil, fmt.Errorf("brppr: seed %d outside [0,%d)", seed, n)
+	}
+	g := w.Graph()
+	active := make([]bool, n)
+	active[seed] = true
+	activeList := []int32{int32(seed)}
+	r := sparse.NewVector(n)
+	r[seed] = 1
+	buf := sparse.NewVector(n)
+	frontier := sparse.NewVector(n)
+	var frontierNodes []int32
+	var rounds int
+	for rounds = 1; rounds <= opts.MaxRounds; rounds++ {
+		for it := 0; it < 1000; it++ {
+			for _, u := range activeList {
+				buf[u] = 0
+			}
+			for _, v := range frontierNodes {
+				frontier[v] = 0
+			}
+			frontierNodes = frontierNodes[:0]
+			for _, u32 := range activeList {
+				u := int(u32)
+				ru := r[u]
+				if ru == 0 {
+					continue
+				}
+				ns := g.OutNeighbors(u)
+				if len(ns) == 0 {
+					buf[u] += (1 - opts.C) * ru
+					continue
+				}
+				share := (1 - opts.C) * ru / float64(len(ns))
+				for _, v := range ns {
+					if active[v] {
+						buf[v] += share
+					} else {
+						if frontier[v] == 0 {
+							frontierNodes = append(frontierNodes, v)
+						}
+						frontier[v] += share
+					}
+				}
+			}
+			buf[seed] += opts.C
+			var diff float64
+			for _, u := range activeList {
+				d := buf[u] - r[u]
+				if d < 0 {
+					d = -d
+				}
+				diff += d
+				r[u] = buf[u]
+			}
+			if diff < opts.Eps {
+				break
+			}
+		}
+		// RPPR rule: expand every frontier node whose parked rank crosses
+		// the per-node threshold; stop as soon as none does.
+		expanded := false
+		for _, v := range frontierNodes {
+			if frontier[v] >= opts.Expand {
+				active[v] = true
+				activeList = append(activeList, v)
+				r[v] = frontier[v]
+				expanded = true
+			}
+		}
+		if !expanded {
+			break
+		}
+	}
+	scores := r.Clone()
+	for _, v := range frontierNodes {
+		if !active[v] {
+			scores[v] += frontier[v]
+		}
+	}
+	return &Result{Scores: scores, Active: len(activeList), Rounds: rounds}, nil
+}

@@ -1,0 +1,119 @@
+// Package core implements the paper's contribution: Cumulative Power
+// Iteration (CPI, Algorithm 1) and the TPA two-phase approximation built on
+// it (Algorithms 2 and 3), together with the theoretical error bounds of
+// Lemmas 1-3 and Theorem 2 and helpers for choosing the S and T split
+// points.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// CPIResult carries the outcome of a CPI run.
+type CPIResult struct {
+	// Scores is the accumulated score vector Σ x(i) for StartIter ≤ i ≤
+	// the last executed iteration.
+	Scores sparse.Vector
+	// Iters is the index of the last executed iteration (propagation
+	// steps performed).
+	Iters int
+	// Converged reports whether ‖x(i)‖₁ < ε stopped the loop before the
+	// terminal iteration.
+	Converged bool
+}
+
+// CPI runs Cumulative Power Iteration (Algorithm 1 of the paper) on the
+// walk operator w: interim vectors x(0) = c·q, x(i) = (1-c)·Ãᵀ·x(i-1) are
+// accumulated into the result for startIter ≤ i ≤ termIter.
+//
+// termIter < 0 means "∞": iterate until ‖x(i)‖₁ < ε. Exact RWR is
+// CPI(w, seeds, cfg, 0, -1); PageRank is the same with all nodes seeded;
+// the family part of TPA is CPI(w, {s}, cfg, 0, S-1); the stranger vector
+// is CPI(w, all, cfg, T, -1).
+func CPI(w rwr.Operator, seeds []int, cfg rwr.Config, startIter, termIter int) (*CPIResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if startIter < 0 {
+		return nil, fmt.Errorf("core: negative start iteration %d", startIter)
+	}
+	if termIter >= 0 && termIter < startIter {
+		return nil, fmt.Errorf("core: terminal iteration %d before start iteration %d", termIter, startIter)
+	}
+	n := w.N()
+	q, err := rwr.SeedVector(n, seeds)
+	if err != nil {
+		return nil, err
+	}
+	x := q.Clone().Scale(cfg.C) // x(0)
+	r := sparse.NewVector(n)
+	res := &CPIResult{Scores: r}
+	if startIter == 0 {
+		r.Add(x)
+	}
+	limit := termIter
+	if limit < 0 {
+		cap := cfg.IterBound() + 8
+		if cfg.MaxIter > 0 {
+			cap = cfg.MaxIter
+		}
+		limit = cap
+	}
+	buf := sparse.NewVector(n)
+	for i := 1; i <= limit; i++ {
+		w.MulT(x, buf)
+		buf.Scale(1 - cfg.C)
+		x, buf = buf, x
+		res.Iters = i
+		if i >= startIter {
+			r.Add(x)
+		}
+		if x.L1() < cfg.Eps {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// ExactRWR computes the full RWR vector by CPI run to convergence. It is
+// the r_CPI reference of the paper.
+func ExactRWR(w rwr.Operator, seed int, cfg rwr.Config) (sparse.Vector, error) {
+	res, err := CPI(w, []int{seed}, cfg, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// PageRankCPI computes the global PageRank vector by CPI run to
+// convergence (all nodes seeded uniformly).
+func PageRankCPI(w rwr.Operator, cfg rwr.Config) (sparse.Vector, error) {
+	res, err := CPI(w, allSeeds(w.N()), cfg, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// PartMasses returns the exact L1 masses of the family, neighbor and
+// stranger parts for a column-stochastic operator (Lemma 2):
+// ‖r_family‖₁ = 1-(1-c)^S, ‖r_neighbor‖₁ = (1-c)^S-(1-c)^T,
+// ‖r_stranger‖₁ = (1-c)^T.
+func PartMasses(c float64, s, t int) (family, neighbor, stranger float64) {
+	ds := math.Pow(1-c, float64(s))
+	dt := math.Pow(1-c, float64(t))
+	return 1 - ds, ds - dt, dt
+}
+
+func allSeeds(n int) []int {
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	return seeds
+}

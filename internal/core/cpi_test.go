@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+func testWalk(tb testing.TB, seed int64) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(300, 3000, 5, 0.2, seed)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func cfg() rwr.Config { return rwr.DefaultConfig() }
+
+func TestCPIMatchesPowerIteration(t *testing.T) {
+	w := testWalk(t, 1)
+	for _, seed := range []int{0, 17, 299} {
+		exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CPI(w, []int{seed}, cfg(), 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := exact.L1Dist(res.Scores); d > 1e-7 {
+			t.Errorf("seed %d: CPI vs power iteration L1 = %g", seed, d)
+		}
+		if !res.Converged {
+			t.Errorf("seed %d: CPI did not converge", seed)
+		}
+	}
+}
+
+func TestCPIMatchesDenseExact(t *testing.T) {
+	g := gen.CommunityRMAT(120, 900, 4, 0.2, 2)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	for _, seed := range []int{0, 60, 119} {
+		dense, err := rwr.DenseExact(w, []int{seed}, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CPI(w, []int{seed}, cfg(), 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.L1Dist(res.Scores); d > 1e-6 {
+			t.Errorf("seed %d: CPI vs dense solve L1 = %g", seed, d)
+		}
+	}
+}
+
+// Theorem 1: r_CPI satisfies the steady-state equation
+// r = (1-c)Ãᵀr + c·q.
+func TestCPISatisfiesFixedPoint(t *testing.T) {
+	w := testWalk(t, 3)
+	seed := 42
+	res, err := CPI(w, []int{seed}, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Scores
+	q := sparse.NewVector(w.N())
+	q[seed] = 1
+	rhs := w.MulT(r, sparse.NewVector(w.N())).Scale(1 - cfg().C)
+	rhs.Axpy(cfg().C, q)
+	if d := r.L1Dist(rhs); d > 1e-7 {
+		t.Errorf("fixed point residual %g", d)
+	}
+}
+
+// Lemma 2 consequence: ‖x(i)‖₁ = c(1-c)^i, so partial sums have closed
+// forms. CPI with [siter, titer] windows must reproduce them.
+func TestCPIWindowMasses(t *testing.T) {
+	w := testWalk(t, 4)
+	c := cfg().C
+	cases := []struct {
+		s, tt int
+	}{{0, 4}, {5, 9}, {3, 3}, {0, 0}}
+	for _, tc := range cases {
+		res, err := CPI(w, []int{7}, cfg(), tc.s, tc.tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for i := tc.s; i <= tc.tt; i++ {
+			want += c * math.Pow(1-c, float64(i))
+		}
+		if got := res.Scores.L1(); math.Abs(got-want) > 1e-10 {
+			t.Errorf("window [%d,%d]: mass %g, want %g", tc.s, tc.tt, got, want)
+		}
+	}
+}
+
+func TestCPIWindowsPartitionTotal(t *testing.T) {
+	// family + neighbor + stranger must equal the full CPI vector exactly.
+	w := testWalk(t, 5)
+	s, tt := 5, 10
+	seed := []int{123}
+	full, err := CPI(w, seed, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := CPI(w, seed, cfg(), 0, s-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nei, err := CPI(w, seed, cfg(), s, tt-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := CPI(w, seed, cfg(), tt, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := fam.Scores.Clone().Add(nei.Scores).Add(str.Scores)
+	if d := full.Scores.L1Dist(sum); d > 1e-9 {
+		t.Errorf("three-part split does not reassemble: L1 = %g", d)
+	}
+}
+
+func TestCPIErrors(t *testing.T) {
+	w := testWalk(t, 6)
+	if _, err := CPI(w, []int{0}, cfg(), -1, 5); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := CPI(w, []int{0}, cfg(), 5, 4); err == nil {
+		t.Error("terminal < start accepted")
+	}
+	if _, err := CPI(w, nil, cfg(), 0, -1); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := CPI(w, []int{-1}, cfg(), 0, -1); err == nil {
+		t.Error("negative seed accepted")
+	}
+	bad := rwr.Config{C: 1.5, Eps: 1e-9}
+	if _, err := CPI(w, []int{0}, bad, 0, -1); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestPageRankCPIMatchesPowerIteration(t *testing.T) {
+	w := testWalk(t, 7)
+	pr, _, err := rwr.PageRank(w, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := PageRankCPI(w, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pr.L1Dist(pc); d > 1e-7 {
+		t.Errorf("PageRank CPI vs power iteration L1 = %g", d)
+	}
+}
+
+func TestPartMasses(t *testing.T) {
+	f, nb, st := PartMasses(0.15, 5, 10)
+	if math.Abs(f+nb+st-1) > 1e-12 {
+		t.Errorf("masses do not sum to 1: %g", f+nb+st)
+	}
+	if math.Abs(f-(1-math.Pow(0.85, 5))) > 1e-12 {
+		t.Errorf("family mass %g", f)
+	}
+}
+
+func TestPartMassesProperty(t *testing.T) {
+	f := func(cRaw, sRaw, dRaw uint8) bool {
+		c := 0.01 + 0.98*float64(cRaw)/255
+		s := 1 + int(sRaw)%15
+		tt := s + 1 + int(dRaw)%15
+		fam, nb, st := PartMasses(c, s, tt)
+		return fam >= -1e-12 && nb >= -1e-12 && st >= -1e-12 &&
+			math.Abs(fam+nb+st-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ‖x(i)‖₁ = c(1-c)^i exactly, for a column-stochastic operator — the key
+// identity behind Lemma 2 and the convergence analysis (Lemma 4).
+func TestInterimMassIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		g := gen.ErdosRenyi(60, 200, rng.Int63())
+		w := graph.NewWalk(g, graph.DanglingSelfLoop)
+		c := cfg().C
+		for i := 0; i <= 8; i++ {
+			res, err := CPI(w, []int{rng.Intn(60)}, cfg(), i, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := c * math.Pow(1-c, float64(i))
+			if math.Abs(res.Scores.L1()-want) > 1e-12 {
+				t.Fatalf("‖x(%d)‖₁ = %g, want %g", i, res.Scores.L1(), want)
+			}
+		}
+	}
+}
+
+func TestIterBound(t *testing.T) {
+	c := cfg()
+	i := c.IterBound()
+	// c(1-c)^i < eps <= c(1-c)^(i-1)
+	if c.C*math.Pow(1-c.C, float64(i)) >= c.Eps {
+		t.Errorf("bound %d too small", i)
+	}
+	if i > 0 && c.C*math.Pow(1-c.C, float64(i-1)) < c.Eps {
+		t.Errorf("bound %d not tight", i)
+	}
+}
+
+// RWR is linear in the seed vector: the vector for a seed set equals the
+// average of the per-seed vectors.
+func TestCPILinearityInSeeds(t *testing.T) {
+	w := testWalk(t, 8)
+	a, err := CPI(w, []int{10}, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CPI(w, []int{200}, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := CPI(w, []int{10, 200}, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := a.Scores.Clone().Add(b.Scores).Scale(0.5)
+	if d := both.Scores.L1Dist(avg); d > 1e-8 {
+		t.Errorf("linearity violated: %g", d)
+	}
+}
+
+// CPI's convergence iteration count matches the analytic bound of Lemma 4.
+func TestCPIConvergenceMatchesIterBound(t *testing.T) {
+	w := testWalk(t, 9)
+	res, err := CPI(w, []int{0}, cfg(), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := cfg().IterBound()
+	if res.Iters < bound-1 || res.Iters > bound+1 {
+		t.Errorf("converged in %d iterations, analytic bound %d", res.Iters, bound)
+	}
+}
+
+// Monotonicity: scores are non-negative and the seed's score is at least c
+// (the walk restarts there with probability c every step).
+func TestCPISeedScoreAtLeastC(t *testing.T) {
+	w := testWalk(t, 10)
+	for _, seed := range []int{0, 100, 299} {
+		r, err := ExactRWR(w, seed, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[seed] < cfg().C-1e-9 {
+			t.Errorf("seed %d: score %g below restart probability %g", seed, r[seed], cfg().C)
+		}
+		for v, x := range r {
+			if x < -1e-15 {
+				t.Fatalf("negative score at %d: %g", v, x)
+			}
+		}
+	}
+}

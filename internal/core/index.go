@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// indexMagic identifies a serialized TPA index ("TPAI" + version 1).
+const indexMagic = uint32(0x54504131)
+
+// WriteIndex serializes the preprocessed TPA state (configuration, S/T and
+// the stranger vector) so the preprocessing phase can be run once and its
+// result shipped to query servers. The graph itself is not stored; the
+// loader must supply a walk over the same graph.
+func (t *TPA) WriteIndex(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []interface{}{
+		indexMagic,
+		uint32(t.params.S),
+		uint32(t.params.T),
+		uint32(t.preIters),
+		math.Float64bits(t.cfg.C),
+		math.Float64bits(t.cfg.Eps),
+		uint64(len(t.stranger)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: writing index header: %w", err)
+		}
+	}
+	for _, x := range t.stranger {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(x)); err != nil {
+			return fmt.Errorf("core: writing index payload: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes a TPA index previously written by WriteIndex and
+// binds it to the provided walk operator. It fails if the stored vector
+// length does not match the graph.
+func ReadIndex(r io.Reader, w rwr.Operator) (*TPA, error) {
+	br := bufio.NewReader(r)
+	var magic, s, tt, preIters uint32
+	var cBits, epsBits uint64
+	var n uint64
+	for _, v := range []interface{}{&magic, &s, &tt, &preIters, &cBits, &epsBits, &n} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", magic)
+	}
+	if int(n) != w.N() {
+		return nil, fmt.Errorf("core: index has %d nodes but graph has %d", n, w.N())
+	}
+	cfg := rwr.Config{C: math.Float64frombits(cBits), Eps: math.Float64frombits(epsBits)}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: index config invalid: %w", err)
+	}
+	params := Params{S: int(s), T: int(tt)}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: index params invalid: %w", err)
+	}
+	vec := sparse.NewVector(int(n))
+	for i := range vec {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("core: reading index payload at %d: %w", i, err)
+		}
+		vec[i] = math.Float64frombits(bits)
+	}
+	return &TPA{walk: w, cfg: cfg, params: params, stranger: vec, preIters: int(preIters)}, nil
+}

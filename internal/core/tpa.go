@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// Params holds TPA's two split points: S, the first iteration of the
+// neighbor part, and T, the first iteration of the stranger part
+// (0 < S < T). Table II of the paper lists the values tuned per dataset;
+// SelectParams picks reasonable defaults for a new graph.
+type Params struct {
+	S int
+	T int
+}
+
+// Validate checks 0 < S < T.
+func (p Params) Validate() error {
+	if p.S < 1 {
+		return fmt.Errorf("core: S = %d must be at least 1", p.S)
+	}
+	if p.T <= p.S {
+		return fmt.Errorf("core: T = %d must exceed S = %d", p.T, p.S)
+	}
+	return nil
+}
+
+// DefaultParams returns S=5, T=10, the most common setting in Table II.
+func DefaultParams() Params { return Params{S: 5, T: 10} }
+
+// TPA is the preprocessed state of the two-phase approximation for one
+// graph: the walk operator, the configuration, and the precomputed stranger
+// vector r̃_stranger = p_stranger (Algorithm 2). Build it once with
+// Preprocess, then answer any number of seed queries with Query.
+//
+// A TPA value is safe for concurrent Query calls: queries only read the
+// preprocessed state.
+type TPA struct {
+	walk   rwr.Operator
+	cfg    rwr.Config
+	params Params
+	// stranger is the PageRank tail Σ_{i≥T} x'(i), shared by all seeds.
+	stranger sparse.Vector
+	// preIters records how many CPI iterations preprocessing ran
+	// (for reporting).
+	preIters int
+}
+
+// Preprocess runs TPA's preprocessing phase (Algorithm 2): a single
+// PageRank-style CPI accumulating only iterations ≥ T. The result is the
+// only per-graph state TPA stores — an O(n) vector, which is why Fig 1(a)
+// shows TPA's index orders of magnitude below the competitors'.
+func Preprocess(w rwr.Operator, cfg rwr.Config, params Params) (*TPA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := CPI(w, allSeeds(w.N()), cfg, params.T, -1)
+	if err != nil {
+		return nil, err
+	}
+	return &TPA{
+		walk:     w,
+		cfg:      cfg,
+		params:   params,
+		stranger: res.Scores,
+		preIters: res.Iters,
+	}, nil
+}
+
+// Walk returns the underlying walk operator.
+func (t *TPA) Walk() rwr.Operator { return t.walk }
+
+// Config returns the RWR configuration used at preprocessing time.
+func (t *TPA) Config() rwr.Config { return t.cfg }
+
+// Params returns the S/T split points.
+func (t *TPA) Params() Params { return t.params }
+
+// StrangerVector returns the precomputed r̃_stranger (aliases internal
+// storage; callers must not modify it).
+func (t *TPA) StrangerVector() sparse.Vector { return t.stranger }
+
+// PreprocessIters returns the number of CPI iterations the preprocessing
+// phase executed.
+func (t *TPA) PreprocessIters() int { return t.preIters }
+
+// IndexBytes returns the accounted size of the preprocessed data: one
+// float64 per node. This is the quantity compared in Fig 1(a).
+func (t *TPA) IndexBytes() int64 { return int64(len(t.stranger)) * 8 }
+
+// Query runs TPA's online phase (Algorithm 3) for the given seed node:
+// compute r_family with S-1 propagation steps of CPI, scale it by
+// ‖r_neighbor‖₁/‖r_family‖₁ to estimate the neighbor part, and add the
+// precomputed stranger vector.
+func (t *TPA) Query(seed int) (sparse.Vector, error) {
+	parts, err := t.QueryParts(seed)
+	if err != nil {
+		return nil, err
+	}
+	return parts.Combine(), nil
+}
+
+// QuerySet computes approximate personalized PageRank for a *set* of seed
+// nodes (uniform restart over the set), the multi-seed generalization
+// §II-C notes CPI supports. The family part starts from the uniform seed
+// vector; the stranger part is unchanged (it never depended on the seed).
+func (t *TPA) QuerySet(seeds []int) (sparse.Vector, error) {
+	parts, err := t.queryParts(seeds)
+	if err != nil {
+		return nil, err
+	}
+	return parts.Combine(), nil
+}
+
+// QueryParts is Query exposing the three components separately; the
+// error-analysis experiments (Table III, Fig 9) need them individually.
+func (t *TPA) QueryParts(seed int) (*Parts, error) {
+	if seed < 0 || seed >= t.walk.N() {
+		return nil, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	}
+	return t.queryParts([]int{seed})
+}
+
+func (t *TPA) queryParts(seeds []int) (*Parts, error) {
+	fam, err := CPI(t.walk, seeds, t.cfg, 0, t.params.S-1)
+	if err != nil {
+		return nil, err
+	}
+	// Neighbor scaling factor ((1-c)^S - (1-c)^T) / (1 - (1-c)^S), the
+	// closed form of ‖r_neighbor‖₁/‖r_family‖₁ from Lemma 2.
+	famMass, neighMass, _ := PartMasses(t.cfg.C, t.params.S, t.params.T)
+	scale := 0.0
+	if famMass > 0 {
+		scale = neighMass / famMass
+	}
+	return &Parts{
+		Family:   fam.Scores,
+		Neighbor: fam.Scores.Clone().Scale(scale),
+		Stranger: t.stranger,
+	}, nil
+}
+
+// Parts carries the three additive components of a TPA answer.
+type Parts struct {
+	Family   sparse.Vector // exact: Σ_{i<S} x(i)
+	Neighbor sparse.Vector // approximated by scaling Family
+	Stranger sparse.Vector // approximated by the PageRank tail (shared)
+}
+
+// Combine sums the three parts into the final r_TPA.
+func (p *Parts) Combine() sparse.Vector {
+	r := p.Family.Clone()
+	r.Add(p.Neighbor)
+	r.Add(p.Stranger)
+	return r
+}
+
+// TopK returns the k highest-scoring nodes for the seed, the operation most
+// RWR applications (e.g. "Who to Follow") actually run.
+func (t *TPA) TopK(seed, k int) ([]sparse.Entry, error) {
+	r, err := t.Query(seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.TopK(k), nil
+}
+
+// ErrorBound returns the a-priori L1 error guarantee of Theorem 2 for this
+// instance: ‖r_CPI − r_TPA‖₁ ≤ 2(1-c)^S.
+func (t *TPA) ErrorBound() float64 { return TheoremTwoBound(t.cfg.C, t.params.S) }

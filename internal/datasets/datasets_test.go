@@ -1,0 +1,111 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"Slashdot", "Google", "Pokec", "LiveJournal", "WikiLink", "Twitter", "Friendster"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d datasets, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("dataset %d = %q, want %q (Table II order)", i, names[i], n)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("NotAGraph"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDescriptorsSane(t *testing.T) {
+	for _, d := range All() {
+		if d.S < 1 || d.T <= d.S {
+			t.Errorf("%s: bad split points S=%d T=%d", d.Name, d.S, d.T)
+		}
+		if d.Nodes < 100 || d.Edges < int64(d.Nodes) {
+			t.Errorf("%s: implausible analogue size %d/%d", d.Name, d.Nodes, d.Edges)
+		}
+		if d.ScaleFactor() < 10 {
+			t.Errorf("%s: scale factor %.1f suspiciously small", d.Name, d.ScaleFactor())
+		}
+	}
+}
+
+func TestTableIIPaperValues(t *testing.T) {
+	// Spot-check the recorded paper-scale statistics against Table II.
+	d, err := Get("Friendster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PaperNodes != 68349466 || d.PaperEdges != 2586147869 {
+		t.Errorf("Friendster paper stats wrong: %d/%d", d.PaperNodes, d.PaperEdges)
+	}
+	if d.S != 4 || d.T != 20 {
+		t.Errorf("Friendster S/T = %d/%d, want 4/20", d.S, d.T)
+	}
+	d, err = Get("Slashdot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.S != 5 || d.T != 15 {
+		t.Errorf("Slashdot S/T = %d/%d, want 5/15", d.S, d.T)
+	}
+}
+
+func TestLoadCachesAndMatchesTargets(t *testing.T) {
+	g1, d, err := Load("Slashdot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Load("Slashdot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("Load did not cache")
+	}
+	if g1.NumNodes() != d.Nodes {
+		t.Errorf("nodes %d, want %d", g1.NumNodes(), d.Nodes)
+	}
+	// Edge count is approximate (dedup/self-loop losses) but must be close.
+	ratio := float64(g1.NumEdges()) / float64(d.Edges)
+	if ratio < 0.5 || ratio > 1.2 {
+		t.Errorf("edges %d vs target %d (ratio %.2f)", g1.NumEdges(), d.Edges, ratio)
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTwinMatchesSize(t *testing.T) {
+	g, d, err := Load("Slashdot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := d.RandomTwin(g)
+	if twin.NumNodes() != g.NumNodes() {
+		t.Errorf("twin nodes %d != %d", twin.NumNodes(), g.NumNodes())
+	}
+	diff := float64(twin.NumEdges()-g.NumEdges()) / float64(g.NumEdges())
+	if diff > 0.05 || diff < -0.05 {
+		t.Errorf("twin edges %d vs %d", twin.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, err := Get("Google")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Generate()
+	b := d.Generate()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+}

@@ -1,0 +1,141 @@
+// Package eval provides the evaluation metrics of the paper's experiment
+// section: top-k recall against an exact ranking (Fig 7), L1 approximation
+// error (Table III, Figs 8 and 9), and simple aggregation helpers for the
+// 30-random-seed averages every figure reports.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tpa/internal/sparse"
+)
+
+// RecallAtK returns |exact top-k ∩ approx top-k| / k, the metric of Fig 7.
+func RecallAtK(exact, approx sparse.Vector, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	et := exact.TopK(k)
+	at := approx.TopK(k)
+	if len(et) == 0 {
+		return 0
+	}
+	inExact := make(map[int]struct{}, len(et))
+	for _, e := range et {
+		inExact[e.Index] = struct{}{}
+	}
+	var hits int
+	for _, a := range at {
+		if _, ok := inExact[a.Index]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(et))
+}
+
+// L1Error returns ‖exact − approx‖₁.
+func L1Error(exact, approx sparse.Vector) float64 { return exact.L1Dist(approx) }
+
+// Stats accumulates scalar observations and reports mean / min / max.
+type Stats struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stats) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+}
+
+// N returns the number of observations.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the average observation (0 when empty).
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stats) Max() float64 { return s.max }
+
+// RandomSeeds draws k distinct node ids from [0,n) with a deterministic
+// PRNG, the "30 random seed nodes" protocol of §IV-A.
+func RandomSeeds(n, k int, seed int64) []int {
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Timed runs f and returns its duration.
+func Timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// FormatBytes renders a byte count the way the figures label their axes
+// (KB/MB/GB with one decimal).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// FormatDuration renders a duration with the figures' wall-clock-seconds
+// convention.
+func FormatDuration(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}
+
+// GeoMeanSpeedup returns the geometric mean of pairwise ratios base/other,
+// used in the "up to N×" summaries.
+func GeoMeanSpeedup(base, other []float64) (float64, error) {
+	if len(base) != len(other) || len(base) == 0 {
+		return 0, fmt.Errorf("eval: mismatched series lengths %d vs %d", len(base), len(other))
+	}
+	var logSum float64
+	for i := range base {
+		if base[i] <= 0 || other[i] <= 0 {
+			return 0, fmt.Errorf("eval: non-positive entry at %d", i)
+		}
+		logSum += math.Log(other[i] / base[i])
+	}
+	return math.Exp(logSum / float64(len(base))), nil
+}

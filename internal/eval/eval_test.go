@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tpa/internal/sparse"
+)
+
+func TestRecallAtK(t *testing.T) {
+	exact := sparse.Vector{0.5, 0.3, 0.1, 0.05, 0.05}
+	perfect := exact.Clone()
+	if got := RecallAtK(exact, perfect, 3); got != 1 {
+		t.Errorf("perfect recall = %v", got)
+	}
+	// Approx swaps ranks 1 and 4 → top-2 overlap is 1/2.
+	approx := sparse.Vector{0.5, 0.01, 0.1, 0.05, 0.3}
+	if got := RecallAtK(exact, approx, 2); got != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got)
+	}
+	if got := RecallAtK(exact, approx, 0); got != 0 {
+		t.Errorf("recall@0 = %v", got)
+	}
+	// k beyond length: everything overlaps.
+	if got := RecallAtK(exact, approx, 10); got != 1 {
+		t.Errorf("recall@10 = %v", got)
+	}
+}
+
+func TestL1Error(t *testing.T) {
+	a := sparse.Vector{1, 0}
+	b := sparse.Vector{0, 1}
+	if got := L1Error(a, b); got != 2 {
+		t.Errorf("L1Error = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty stats not zero")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		s.Add(x)
+	}
+	if s.N() != 3 || s.Mean() != 2 || s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestRandomSeedsDistinctAndDeterministic(t *testing.T) {
+	a := RandomSeeds(100, 30, 7)
+	b := RandomSeeds(100, 30, 7)
+	if len(a) != 30 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[int]bool{}
+	for i, x := range a {
+		if x < 0 || x >= 100 {
+			t.Fatalf("seed %d out of range", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate seed %d", x)
+		}
+		seen[x] = true
+		if x != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if got := RandomSeeds(5, 10, 1); len(got) != 5 {
+		t.Errorf("over-request returned %d", len(got))
+	}
+}
+
+func TestTimed(t *testing.T) {
+	d, err := Timed(func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || d < time.Millisecond {
+		t.Errorf("d=%v err=%v", d, err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2 << 10: "2.0KB",
+		3 << 20: "3.0MB",
+		4 << 30: "4.0GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(2 * time.Second); got != "2.00s" {
+		t.Errorf("got %q", got)
+	}
+	if got := FormatDuration(3 * time.Millisecond); !strings.HasSuffix(got, "ms") {
+		t.Errorf("got %q", got)
+	}
+	if got := FormatDuration(5 * time.Microsecond); !strings.HasSuffix(got, "µs") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	got, err := GeoMeanSpeedup([]float64{1, 1}, []float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	if _, err := GeoMeanSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := GeoMeanSpeedup([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero entry accepted")
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpa/internal/datasets"
+)
+
+// fastOptions keeps harness tests quick: few seeds, small datasets only.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Seeds = 3
+	o.Datasets = []string{"Slashdot"}
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultOptions()
+	bad.Seeds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Seeds=0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.BudgetBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("BudgetBytes=0 accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "bb") {
+		t.Errorf("rendered table missing parts:\n%s", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("row width mismatch accepted")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestPrepareMethodAll(t *testing.T) {
+	opt := fastOptions()
+	w, d, err := loadWalk("Slashdot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := append(append([]string{}, OnlineMethods...), MethodBePI)
+	for _, m := range names {
+		p, err := PrepareMethod(m, w, d, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if p.OOM {
+			t.Logf("%s over budget (%d bytes)", m, p.IndexBytes)
+			continue
+		}
+		r, err := p.Query(5)
+		if err != nil {
+			t.Fatalf("%s query: %v", m, err)
+		}
+		if len(r) != w.N() {
+			t.Fatalf("%s returned %d scores", m, len(r))
+		}
+	}
+	if _, err := PrepareMethod("nope", w, d, opt); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestFig1SmallRun(t *testing.T) {
+	res, err := Fig1(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{res.Memory, res.Preprocess, res.Online} {
+		if len(tab.Rows) != 1 {
+			t.Fatalf("table %q has %d rows", tab.Title, len(tab.Rows))
+		}
+		if tab.Rows[0][0] != "Slashdot" {
+			t.Fatalf("unexpected dataset %q", tab.Rows[0][0])
+		}
+	}
+	if got, want := len(res.Memory.Header), 1+len(PreprocessingMethods); got != want {
+		t.Errorf("memory header %d cols, want %d", got, want)
+	}
+	if got, want := len(res.Online.Header), 1+len(OnlineMethods); got != want {
+		t.Errorf("online header %d cols, want %d", got, want)
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	res, err := Fig10(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Memory.Header) != 3 { // dataset, TPA, BePI
+		t.Fatalf("header %v", res.Memory.Header)
+	}
+	// TPA's index must be smaller than BePI's (the Fig 10(a) claim).
+	parseBytes := func(s string) float64 {
+		mult := 1.0
+		switch {
+		case strings.HasSuffix(s, "GB"):
+			mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+		case strings.HasSuffix(s, "MB"):
+			mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+		case strings.HasSuffix(s, "KB"):
+			mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+		default:
+			s = strings.TrimSuffix(s, "B")
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", s, err)
+		}
+		return v * mult
+	}
+	row := res.Memory.Rows[0]
+	if parseBytes(row[1]) >= parseBytes(row[2]) {
+		t.Errorf("TPA index %s not smaller than BePI %s", row[1], row[2])
+	}
+}
+
+func TestFig3SmallRun(t *testing.T) {
+	tabs, err := Fig3(fastOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("%d tables, want 4 (i=1,3,5,7)", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 4 || len(tab.Header) != 5 {
+			t.Fatalf("grid shape wrong in %q", tab.Title)
+		}
+	}
+	if _, err := Fig3(fastOptions(), 0); err == nil {
+		t.Error("grid 0 accepted")
+	}
+}
+
+func TestFig4SmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Datasets = []string{"Slashdot"}
+	tab, err := Fig4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(tab.Rows))
+	}
+	// The paper's claim: nnz grows and C_i falls with i.
+	nnzFirst, _ := strconv.ParseInt(tab.Rows[0][1], 10, 64)
+	nnzLast, _ := strconv.ParseInt(tab.Rows[6][1], 10, 64)
+	if nnzLast < nnzFirst {
+		t.Errorf("nnz fell from %d to %d", nnzFirst, nnzLast)
+	}
+	ciFirst, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	ciLast, _ := strconv.ParseFloat(tab.Rows[6][2], 64)
+	if ciLast > ciFirst {
+		t.Errorf("C_i rose from %g to %g", ciFirst, ciLast)
+	}
+	if ciFirst > 2 || ciLast < 0 {
+		t.Errorf("C_i outside [0,2]: %g .. %g", ciFirst, ciLast)
+	}
+}
+
+func TestFig6SmallRun(t *testing.T) {
+	opt := fastOptions()
+	tab, err := Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	real, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	random, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	// Fig 6's claim: block-wise structure keeps the drift smaller.
+	if real >= random {
+		t.Errorf("real drift %g not below random %g", real, random)
+	}
+}
+
+func TestFig8SmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Datasets = []string{"Pokec"}
+	opt.Seeds = 2
+	tab, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig8S) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Error must fall monotonically with S (theory: bound 2(1-c)^S).
+	first, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+	if last > first {
+		t.Errorf("L1 error rose with S: %g -> %g", first, last)
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Datasets = []string{"Pokec"}
+	opt.Seeds = 2
+	tab, err := Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig9T) {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// NA error rises with T; SA error falls with T.
+	naFirst, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	naLast, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	saFirst, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	saLast, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+	if naLast < naFirst {
+		t.Errorf("NA error fell with T: %g -> %g", naFirst, naLast)
+	}
+	if saLast > saFirst {
+		t.Errorf("SA error rose with T: %g -> %g", saFirst, saLast)
+	}
+}
+
+func TestTableIISmallRun(t *testing.T) {
+	tab, err := TableII(Options{Seeds: 1, BudgetBytes: 1 << 30, Cfg: DefaultOptions().Cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(datasets.Names()) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(datasets.Names()))
+	}
+}
+
+func TestTableIIISmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Seeds = 2
+	tab, err := TableIII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	naB, _ := strconv.ParseFloat(row[1], 64)
+	naA, _ := strconv.ParseFloat(row[2], 64)
+	saB, _ := strconv.ParseFloat(row[4], 64)
+	saA, _ := strconv.ParseFloat(row[5], 64)
+	totB, _ := strconv.ParseFloat(row[7], 64)
+	totA, _ := strconv.ParseFloat(row[8], 64)
+	if naA > naB || saA > saB || totA > totB {
+		t.Errorf("actual errors exceed bounds: %v", row)
+	}
+	// The paper's headline: the total error sits far below its bound.
+	if totA > 0.5*totB {
+		t.Logf("TPA error %.4f is above half its bound %.4f (unusual)", totA, totB)
+	}
+}
+
+func TestAblationSmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Seeds = 2
+	tab, err := Ablation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	fam, _ := strconv.ParseFloat(row[1], 64)
+	fn, _ := strconv.ParseFloat(row[2], 64)
+	fs, _ := strconv.ParseFloat(row[3], 64)
+	full, _ := strconv.ParseFloat(row[4], 64)
+	// Full TPA must beat the bare family part and the neighbor-only
+	// variant. (family+stranger can edge it out on graphs whose Table II
+	// T is large — the neighbor scaling then covers far-away iterations,
+	// exactly the §III-C caveat — so that comparison is informational.)
+	if full > fn || full > fam {
+		t.Errorf("full TPA (%.4f) not best: family=%.4f f+n=%.4f f+s=%.4f", full, fam, fn, fs)
+	}
+	if fs < full {
+		t.Logf("family+stranger (%.4f) beats full TPA (%.4f): large-T neighbor scaling cost", fs, full)
+	}
+}
+
+func TestScalabilitySmallRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Seeds = 2
+	tab, err := Scalability(opt, []int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if _, err := Scalability(opt, []int{1}); err == nil {
+		t.Error("size 1 accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tpa/internal/datasets"
+	"tpa/internal/eval"
+)
+
+// Fig1Result bundles the three panels of Fig 1 (and, with methods set to
+// {TPA, BePI}, of Fig 10).
+type Fig1Result struct {
+	Memory     *Table // Fig 1(a): size of preprocessed data
+	Preprocess *Table // Fig 1(b): preprocessing wall-clock time
+	Online     *Table // Fig 1(c): online wall-clock time
+}
+
+// Fig1 reproduces Fig 1: for every dataset, the preprocessed-data size and
+// preprocessing time of every preprocessing method, and the average online
+// time of every approximate method over opt.Seeds random seeds. Methods
+// whose index exceeds the budget are reported as OOM and skipped online,
+// matching the omitted bars in the paper.
+func Fig1(opt Options) (*Fig1Result, error) {
+	return runMethodComparison(opt, PreprocessingMethods, OnlineMethods,
+		"Fig 1(a): size of preprocessed data",
+		"Fig 1(b): preprocessing time",
+		"Fig 1(c): online time")
+}
+
+// Fig10 reproduces Appendix A's comparison with BePI: same three panels,
+// methods restricted to TPA and BePI. The memory budget is lifted here —
+// the paper runs BePI (its exact ground truth) on every dataset, so the
+// comparison is about relative cost, not feasibility.
+func Fig10(opt Options) (*Fig1Result, error) {
+	opt.BudgetBytes = 1 << 62
+	ms := []string{MethodTPA, MethodBePI}
+	return runMethodComparison(opt, ms, ms,
+		"Fig 10(a): size of preprocessed data (TPA vs BePI)",
+		"Fig 10(b): preprocessing time (TPA vs BePI)",
+		"Fig 10(c): online time (TPA vs BePI)")
+}
+
+func runMethodComparison(opt Options, prepMethods, onlineMethods []string, titleA, titleB, titleC string) (*Fig1Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{
+		Memory:     &Table{Title: titleA, Header: append([]string{"dataset"}, prepMethods...)},
+		Preprocess: &Table{Title: titleB, Header: append([]string{"dataset"}, prepMethods...)},
+		Online:     &Table{Title: titleC, Header: append([]string{"dataset"}, onlineMethods...)},
+	}
+	for _, name := range opt.datasetNames(datasets.Names()) {
+		w, d, err := loadWalk(name)
+		if err != nil {
+			return nil, err
+		}
+		prepared := map[string]*Prepared{}
+		need := map[string]bool{}
+		for _, m := range prepMethods {
+			need[m] = true
+		}
+		for _, m := range onlineMethods {
+			need[m] = true
+		}
+		for m := range need {
+			p, err := PrepareMethod(m, w, d, opt)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %s: %w", name, err)
+			}
+			prepared[m] = p
+		}
+		memRow := []string{name}
+		prepRow := []string{name}
+		for _, m := range prepMethods {
+			p := prepared[m]
+			if p.OOM {
+				memRow = append(memRow, "OOM")
+				prepRow = append(prepRow, "OOM")
+				continue
+			}
+			memRow = append(memRow, eval.FormatBytes(p.IndexBytes))
+			prepRow = append(prepRow, eval.FormatDuration(p.PrepTime))
+		}
+		res.Memory.AddRow(memRow...)
+		res.Preprocess.AddRow(prepRow...)
+
+		seeds := eval.RandomSeeds(w.N(), opt.Seeds, d.Seed+77)
+		onlineRow := []string{name}
+		for _, m := range onlineMethods {
+			p := prepared[m]
+			if p.OOM {
+				onlineRow = append(onlineRow, "OOM")
+				continue
+			}
+			var total time.Duration
+			for _, s := range seeds {
+				dur, err := eval.Timed(func() error {
+					_, qerr := p.Query(s)
+					return qerr
+				})
+				if err != nil {
+					return nil, fmt.Errorf("dataset %s method %s seed %d: %w", name, m, s, err)
+				}
+				total += dur
+			}
+			onlineRow = append(onlineRow, eval.FormatDuration(total/time.Duration(len(seeds))))
+		}
+		res.Online.AddRow(onlineRow...)
+	}
+	return res, nil
+}

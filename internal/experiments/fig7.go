@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpa/internal/eval"
+)
+
+// Fig7Datasets are the four graphs shown in Fig 7 ("results on other graphs
+// are similar").
+var Fig7Datasets = []string{"Slashdot", "Pokec", "WikiLink", "Twitter"}
+
+// Fig7Ks are the k values of the recall sweep.
+var Fig7Ks = []int{100, 200, 300, 400, 500}
+
+// Fig7 reproduces Fig 7: recall of the top-k RWR vertices of every
+// approximate method against the exact top-k (ground truth: BePI, as in
+// the paper), averaged over opt.Seeds random seeds, for k = 100..500.
+func Fig7(opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 7: recall of top-k RWR vertices (ground truth: BePI)",
+		Header: append([]string{"dataset", "k"}, OnlineMethods...),
+	}
+	for _, name := range opt.datasetNames(Fig7Datasets) {
+		w, d, err := loadWalk(name)
+		if err != nil {
+			return nil, err
+		}
+		// The ground truth is exempt from the memory budget: it stands in
+		// for the paper's offline exact computation, not for a competitor.
+		truthOpt := opt
+		truthOpt.BudgetBytes = 1 << 62
+		truth, err := PrepareMethod(MethodBePI, w, d, truthOpt)
+		if err != nil {
+			return nil, err
+		}
+		prepared := map[string]*Prepared{}
+		for _, m := range OnlineMethods {
+			p, err := PrepareMethod(m, w, d, opt)
+			if err != nil {
+				return nil, err
+			}
+			prepared[m] = p
+		}
+		seeds := eval.RandomSeeds(w.N(), opt.Seeds, d.Seed+321)
+		// recall[method][kIdx] accumulators.
+		recall := map[string][]eval.Stats{}
+		for _, m := range OnlineMethods {
+			recall[m] = make([]eval.Stats, len(Fig7Ks))
+		}
+		for _, seed := range seeds {
+			exact, err := truth.Query(seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range OnlineMethods {
+				p := prepared[m]
+				if p.OOM {
+					continue
+				}
+				approx, err := p.Query(seed)
+				if err != nil {
+					return nil, err
+				}
+				for ki, k := range Fig7Ks {
+					recall[m][ki].Add(eval.RecallAtK(exact, approx, k))
+				}
+			}
+		}
+		for ki, k := range Fig7Ks {
+			row := []string{name, fmt.Sprintf("%d", k)}
+			for _, m := range OnlineMethods {
+				if prepared[m].OOM {
+					row = append(row, "OOM")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.4f", recall[m][ki].Mean()))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tpa/internal/core"
+	"tpa/internal/eval"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// ParamSweepDatasets are the two graphs §IV-D sweeps parameters on.
+var ParamSweepDatasets = []string{"LiveJournal", "Pokec"}
+
+// Fig8S is the S sweep range (T fixed at 10, as in the paper).
+var Fig8S = []int{2, 3, 4, 5, 6}
+
+// Fig8 reproduces Fig 8: online time and total L1 error of TPA as the
+// neighbor-approximation start S varies with T = 10. Time rises and error
+// falls with S — the accuracy/speed trade-off of §III-C.
+func Fig8(opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 8: effects of S on online time and L1 error (T=10)",
+		Header: []string{"dataset", "S", "online time", "L1 error"},
+	}
+	for _, name := range opt.datasetNames(ParamSweepDatasets) {
+		w, d, err := loadWalk(name)
+		if err != nil {
+			return nil, err
+		}
+		seeds := eval.RandomSeeds(w.N(), opt.Seeds, d.Seed+555)
+		exact, err := exactVectors(w, seeds, opt.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Fig8S {
+			tp, err := core.Preprocess(w, opt.Cfg, core.Params{S: s, T: 10})
+			if err != nil {
+				return nil, err
+			}
+			var total time.Duration
+			var errStat eval.Stats
+			for i, seed := range seeds {
+				start := time.Now()
+				approx, err := tp.Query(seed)
+				if err != nil {
+					return nil, err
+				}
+				total += time.Since(start)
+				errStat.Add(exact[i].L1Dist(approx))
+			}
+			t.AddRow(name, fmt.Sprintf("%d", s),
+				eval.FormatDuration(total/time.Duration(len(seeds))),
+				fmt.Sprintf("%.4f", errStat.Mean()))
+		}
+	}
+	return t, nil
+}
+
+// Fig9T is the T sweep range (S fixed at 5, as in the paper).
+var Fig9T = []int{6, 8, 10, 15, 20, 25}
+
+// Fig9 reproduces Fig 9: the L1 errors of the neighbor approximation (NA),
+// the stranger approximation (SA), and TPA as the stranger start T varies
+// with S = 5. NA error rises with T, SA error falls, and the TPA total has
+// an interior minimum — the tuning argument of §III-C.
+func Fig9(opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 9: effects of T on L1 errors of NA, SA, and TPA (S=5)",
+		Header: []string{"dataset", "T", "NA error", "SA error", "TPA error"},
+	}
+	const s = 5
+	for _, name := range opt.datasetNames(ParamSweepDatasets) {
+		w, d, err := loadWalk(name)
+		if err != nil {
+			return nil, err
+		}
+		seeds := eval.RandomSeeds(w.N(), opt.Seeds, d.Seed+777)
+		for _, tt := range Fig9T {
+			na, sa, tot, err := ApproxPartErrors(w, seeds, opt.Cfg, core.Params{S: s, T: tt})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, fmt.Sprintf("%d", tt),
+				fmt.Sprintf("%.4f", na), fmt.Sprintf("%.4f", sa), fmt.Sprintf("%.4f", tot))
+		}
+	}
+	return t, nil
+}
+
+// ApproxPartErrors measures the mean L1 errors of the neighbor
+// approximation, the stranger approximation, and the combined TPA vector
+// against the exact CPI parts, over the given seeds. It backs both Fig 9
+// and Table III.
+func ApproxPartErrors(w *graph.Walk, seeds []int, cfg rwr.Config, p core.Params) (na, sa, total float64, err error) {
+	tp, err := core.Preprocess(w, cfg, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var naS, saS, totS eval.Stats
+	for _, seed := range seeds {
+		parts, err := tp.QueryParts(seed)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		exactNei, err := core.CPI(w, []int{seed}, cfg, p.S, p.T-1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		exactStr, err := core.CPI(w, []int{seed}, cfg, p.T, -1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		naS.Add(exactNei.Scores.L1Dist(parts.Neighbor))
+		saS.Add(exactStr.Scores.L1Dist(parts.Stranger))
+		exact := parts.Family.Clone().Add(exactNei.Scores).Add(exactStr.Scores)
+		totS.Add(exact.L1Dist(parts.Combine()))
+	}
+	return naS.Mean(), saS.Mean(), totS.Mean(), nil
+}
+
+// exactVectors computes exact RWR vectors for all seeds by CPI run to
+// convergence.
+func exactVectors(w *graph.Walk, seeds []int, cfg rwr.Config) ([]sparse.Vector, error) {
+	out := make([]sparse.Vector, len(seeds))
+	for i, seed := range seeds {
+		r, err := core.ExactRWR(w, seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Package experiments is the reproduction harness: one runner per table and
+// figure of the paper's evaluation (§IV and Appendix A). Each runner
+// returns a Table whose rows mirror the series the paper plots, so
+// `cmd/experiments` can regenerate the whole evaluation and EXPERIMENTS.md
+// can record paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tpa/internal/rwr"
+)
+
+// Options configure a harness run.
+type Options struct {
+	// Datasets restricts the run to the named datasets (nil = all).
+	Datasets []string
+	// Seeds is the number of random seed nodes averaged per measurement
+	// (the paper uses 30).
+	Seeds int
+	// BudgetBytes is the memory budget for preprocessed data. A method
+	// whose accounted index exceeds it is reported as "OOM", reproducing
+	// the omitted bars of Figs 1 and 7 at analogue scale.
+	BudgetBytes int64
+	// Cfg is the shared RWR configuration (c = 0.15, ε = 1e-9).
+	Cfg rwr.Config
+}
+
+// DefaultOptions mirrors the paper's protocol at analogue scale: 30 seeds
+// and a 12 MB preprocessed-data budget (the analogue of the paper's 200 GB).
+func DefaultOptions() Options {
+	return Options{Seeds: 30, BudgetBytes: 12 << 20, Cfg: rwr.DefaultConfig()}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Seeds < 1 {
+		return fmt.Errorf("experiments: Seeds %d must be positive", o.Seeds)
+	}
+	if o.BudgetBytes < 1 {
+		return fmt.Errorf("experiments: BudgetBytes %d must be positive", o.BudgetBytes)
+	}
+	return o.Cfg.Validate()
+}
+
+// datasetNames resolves the dataset subset for this run.
+func (o Options) datasetNames(all []string) []string {
+	if len(o.Datasets) == 0 {
+		return all
+	}
+	return o.Datasets
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row (len must match Header).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("experiments: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tpa/internal/bear"
+	"tpa/internal/brppr"
+	"tpa/internal/core"
+	"tpa/internal/datasets"
+	"tpa/internal/fora"
+	"tpa/internal/graph"
+	"tpa/internal/hubppr"
+	"tpa/internal/nblin"
+	"tpa/internal/sparse"
+)
+
+// Method names, in the order Fig 1 lists its bars.
+const (
+	MethodTPA    = "TPA"
+	MethodBRPPR  = "BRPPR"
+	MethodFORA   = "FORA"
+	MethodBear   = "BEAR_APPROX"
+	MethodHubPPR = "HubPPR"
+	MethodNBLin  = "NB_LIN"
+	MethodBePI   = "BePI"
+)
+
+// PreprocessingMethods are the methods with a preprocessing phase,
+// compared in Figs 1(a) and 1(b).
+var PreprocessingMethods = []string{MethodTPA, MethodBear, MethodNBLin, MethodFORA, MethodHubPPR}
+
+// OnlineMethods are all approximate methods, compared in Figs 1(c) and 7.
+var OnlineMethods = []string{MethodTPA, MethodBRPPR, MethodFORA, MethodBear, MethodHubPPR, MethodNBLin}
+
+// Prepared is one method readied for online queries on one dataset.
+type Prepared struct {
+	Name       string
+	PrepTime   time.Duration
+	IndexBytes int64
+	// OOM marks a method whose index exceeded the run's memory budget;
+	// Query must not be called on it.
+	OOM   bool
+	Query func(seed int) (sparse.Vector, error)
+}
+
+// PrepareMethod builds one named method on the given walk, timing its
+// preprocessing phase and accounting its index.
+func PrepareMethod(name string, w *graph.Walk, d datasets.Dataset, opt Options) (*Prepared, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	p := &Prepared{Name: name}
+	switch name {
+	case MethodTPA:
+		tp, err := core.Preprocess(w, opt.Cfg, core.Params{S: d.S, T: d.T})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing TPA: %w", err)
+		}
+		p.IndexBytes = tp.IndexBytes()
+		p.Query = tp.Query
+	case MethodBear:
+		bo := bear.DefaultOptions(w.N())
+		// The paper sets the drop tolerance to n^(-1/2) at paper scale
+		// (n ≥ 82144 → tol ≤ 0.0035). Using the analogue's tiny n here
+		// would drop far more aggressively than the paper ever does, so
+		// the tolerance is taken at the original dataset's size.
+		bo.DropTol = 1 / math.Sqrt(float64(d.PaperNodes))
+		b, err := bear.Preprocess(w, opt.Cfg, bo)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing BEAR-APPROX: %w", err)
+		}
+		p.IndexBytes = b.IndexBytes()
+		p.Query = b.Query
+	case MethodBePI:
+		b, err := bear.PreprocessBePI(w, opt.Cfg, bear.DefaultOptions(w.N()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing BePI: %w", err)
+		}
+		p.IndexBytes = b.IndexBytes()
+		p.Query = b.Query
+	case MethodNBLin:
+		nb, err := nblin.Preprocess(w, opt.Cfg, nblin.DefaultOptions(w.N()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing NB-LIN: %w", err)
+		}
+		p.IndexBytes = nb.IndexBytes()
+		p.Query = nb.Query
+	case MethodFORA:
+		f, err := fora.Preprocess(w, fora.DefaultOptions(w.N()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing FORA: %w", err)
+		}
+		p.IndexBytes = f.IndexBytes()
+		p.Query = f.Query
+	case MethodHubPPR:
+		h, err := hubppr.Preprocess(w, hubppr.DefaultOptions(w.N()))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing HubPPR: %w", err)
+		}
+		p.IndexBytes = h.IndexBytes()
+		p.Query = h.Query
+	case MethodBRPPR:
+		// Online-only: no preprocessing phase, no index.
+		p.Query = func(seed int) (sparse.Vector, error) {
+			res, err := brppr.Query(w, seed, brppr.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			return res.Scores, nil
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	}
+	p.PrepTime = time.Since(start)
+	if p.IndexBytes > opt.BudgetBytes {
+		p.OOM = true
+	}
+	return p, nil
+}
+
+// loadWalk loads a dataset and wraps it with the standard dangling policy.
+func loadWalk(name string) (*graph.Walk, datasets.Dataset, error) {
+	g, d, err := datasets.Load(name)
+	if err != nil {
+		return nil, datasets.Dataset{}, err
+	}
+	return graph.NewWalk(g, graph.DanglingSelfLoop), d, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tpa/internal/core"
+	"tpa/internal/eval"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+// Scalability backs the title's "scalable" claim directly (the paper
+// demonstrates it by ranging over Table II's graphs; this sweep isolates
+// it): synthetic community graphs of doubling size with fixed average
+// degree, measuring TPA's preprocessing time, per-query online time, and
+// index size. All three must grow linearly — preprocessing and queries are
+// O(m) per iteration (Lemma 4 / Theorem 3) and the index is O(n)
+// (Theorem 4).
+func Scalability(opt Options, sizes []int) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sizes) == 0 {
+		sizes = []int{1000, 2000, 4000, 8000}
+	}
+	const avgDeg = 12
+	t := &Table{
+		Title:  "Scalability: TPA cost vs graph size (avg out-degree 12, S=5, T=10)",
+		Header: []string{"nodes", "edges", "index", "preprocess", "online/query"},
+	}
+	params := core.Params{S: 5, T: 10}
+	for _, n := range sizes {
+		if n < 10 {
+			return nil, fmt.Errorf("experiments: scalability size %d too small", n)
+		}
+		g := gen.CommunityRMATWithPIn(n, int64(avgDeg*n), n/250+2, 0.05, 0.95, int64(n))
+		w := graph.NewWalk(g, graph.DanglingSelfLoop)
+		start := time.Now()
+		tp, err := core.Preprocess(w, opt.Cfg, params)
+		if err != nil {
+			return nil, err
+		}
+		prep := time.Since(start)
+		seeds := eval.RandomSeeds(n, opt.Seeds, int64(n)+17)
+		var online time.Duration
+		for _, s := range seeds {
+			qs := time.Now()
+			if _, err := tp.Query(s); err != nil {
+				return nil, err
+			}
+			online += time.Since(qs)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", g.NumEdges()),
+			eval.FormatBytes(tp.IndexBytes()),
+			eval.FormatDuration(prep),
+			eval.FormatDuration(online/time.Duration(len(seeds))))
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpa/internal/core"
+	"tpa/internal/datasets"
+	"tpa/internal/eval"
+)
+
+// TableII reproduces Table II: the dataset statistics of the analogue
+// graphs together with the paper-scale originals and the per-dataset S/T
+// split points.
+func TableII(opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table II: dataset statistics (analogue | paper scale)",
+		Header: []string{"dataset", "nodes", "edges", "paper nodes", "paper edges", "S", "T"},
+	}
+	for _, name := range opt.datasetNames(datasets.Names()) {
+		g, d, err := datasets.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", g.NumNodes()),
+			fmt.Sprintf("%d", g.NumEdges()),
+			fmt.Sprintf("%d", d.PaperNodes),
+			fmt.Sprintf("%d", d.PaperEdges),
+			fmt.Sprintf("%d", d.S),
+			fmt.Sprintf("%d", d.T))
+	}
+	return t, nil
+}
+
+// TableIII reproduces Table III: per dataset, the theoretical error bounds
+// of the neighbor approximation (Lemma 3), the stranger approximation
+// (Lemma 1) and TPA (Theorem 2), against the measured L1 errors and their
+// percentage of the bound. The paper's headline: both approximations land
+// well under their bounds, and the TPA total lands far under the sum.
+func TableIII(opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Table III: error statistics vs theoretical bounds",
+		Header: []string{"dataset",
+			"NA bound", "NA actual", "NA %",
+			"SA bound", "SA actual", "SA %",
+			"TPA bound", "TPA actual", "TPA %"},
+	}
+	for _, name := range opt.datasetNames(datasets.Names()) {
+		w, d, err := loadWalk(name)
+		if err != nil {
+			return nil, err
+		}
+		p := core.Params{S: d.S, T: d.T}
+		seeds := eval.RandomSeeds(w.N(), opt.Seeds, d.Seed+999)
+		na, sa, tot, err := ApproxPartErrors(w, seeds, opt.Cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		naB := core.NeighborBound(opt.Cfg.C, p.S, p.T)
+		saB := core.StrangerBound(opt.Cfg.C, p.T)
+		totB := core.TheoremTwoBound(opt.Cfg.C, p.S)
+		pct := func(actual, bound float64) string {
+			if bound == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", 100*actual/bound)
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.4f", naB), fmt.Sprintf("%.4f", na), pct(na, naB),
+			fmt.Sprintf("%.4f", saB), fmt.Sprintf("%.4f", sa), pct(sa, saB),
+			fmt.Sprintf("%.4f", totB), fmt.Sprintf("%.4f", tot), pct(tot, totB))
+	}
+	return t, nil
+}

@@ -1,0 +1,134 @@
+// Package fastppr implements FAST-PPR (Lofgren, Banerjee, Goel, Seshadhri
+// — KDD 2014, [19] in the paper): single-pair personalized PageRank
+// estimation with a frontier decomposition. A backward "target set"
+// T = {w : π̂_w(t) > ε_r} is grown by backward push; forward random walks
+// from the source stop at the first node of T's frontier they hit, and the
+// estimate combines the hit probability with the frontier node's inverse
+// PPR estimate:
+//
+//	π_s(t) ≈ (1/W)·Σ_walks π̂_{first hit}(t)
+//
+// (plus the source's own reserve when s already lies in the target set).
+package fastppr
+
+import (
+	"fmt"
+	"math"
+
+	"tpa/internal/graph"
+	"tpa/internal/mc"
+	"tpa/internal/push"
+)
+
+// Options configure FAST-PPR.
+type Options struct {
+	C     float64 // restart probability
+	Delta float64 // detection threshold δ: pairs with π_s(t) > δ are reliable
+	// Beta balances backward and forward work: the backward push runs to
+	// reserve threshold ε_r = Beta·sqrt(δ). The original paper uses
+	// Beta ≈ 1/6 for balanced running time.
+	Beta  float64
+	PFail float64 // failure probability (sets the walk count)
+	Seed  int64
+}
+
+// DefaultOptions mirrors the original's balanced configuration on an
+// n-node graph.
+func DefaultOptions(n int) Options {
+	nf := float64(n)
+	return Options{C: 0.15, Delta: 4 / nf, Beta: 1.0 / 6, PFail: 1 / nf, Seed: 1}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("fastppr: restart probability %v outside (0,1)", o.C)
+	}
+	if o.Delta <= 0 || o.Beta <= 0 || o.PFail <= 0 || o.PFail >= 1 {
+		return fmt.Errorf("fastppr: invalid parameters δ=%v β=%v p_f=%v", o.Delta, o.Beta, o.PFail)
+	}
+	return nil
+}
+
+// FASTPPR is a query engine over one graph.
+type FASTPPR struct {
+	walk  *graph.Walk
+	opts  Options
+	wk    *mc.Walker
+	epsR  float64 // backward reserve threshold ε_r
+	walks int     // forward walks per query
+	// maxSteps truncates forward walks (geometric with mean 1/c; the tail
+	// beyond ~10/c carries negligible mass).
+	maxSteps int
+}
+
+// New builds a FAST-PPR engine.
+func New(w *graph.Walk, opts Options) (*FASTPPR, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	wk, err := mc.NewWalker(w, opts.C, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &FASTPPR{walk: w, opts: opts, wk: wk}
+	f.epsR = opts.Beta * math.Sqrt(opts.Delta)
+	// Chernoff-style walk count: per-walk values are bounded by the
+	// frontier estimates (≈ ε_r), and the mean to detect is δ, giving
+	// W = Θ(log(1/p_f)/(β²·sqrt(δ))) for the balanced ε_r above.
+	wreq := 3 * math.Log(2/opts.PFail) / (opts.Beta * opts.Beta * math.Sqrt(opts.Delta))
+	f.walks = int(math.Ceil(wreq))
+	if f.walks < 16 {
+		f.walks = 16
+	}
+	f.maxSteps = int(10 / opts.C)
+	return f, nil
+}
+
+// Walks returns the forward-walk count per pair query.
+func (f *FASTPPR) Walks() int { return f.walks }
+
+// Pair estimates π_s(t).
+func (f *FASTPPR) Pair(s, t int) (float64, error) {
+	n := f.walk.N()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return 0, fmt.Errorf("fastppr: pair (%d,%d) outside [0,%d)", s, t, n)
+	}
+	// Backward phase: grow inverse-PPR estimates until every residual is
+	// below ε_r; the "frontier" is every node with a positive estimate —
+	// walks stop there carrying the node's estimate.
+	br, err := push.Backward(f.walk, t, f.opts.C, f.epsR)
+	if err != nil {
+		return 0, err
+	}
+	// inverse-PPR estimate per node: reserve + c·residual (the residual
+	// itself is a lower-order correction FAST-PPR folds in).
+	est := func(v int) float64 {
+		return br.Reserve[v] + f.opts.C*br.Residual[v]
+	}
+	if est(s) > 0 && br.Reserve[s] >= f.epsR {
+		// Source already deep inside the target set: the backward
+		// estimate alone is accurate at this magnitude.
+		return est(s), nil
+	}
+	g := f.walk.Graph()
+	var sum float64
+	for i := 0; i < f.walks; i++ {
+		v := s
+		for step := 0; step < f.maxSteps; step++ {
+			if br.Reserve[v] > 0 || br.Residual[v] > 0 {
+				sum += est(v)
+				break
+			}
+			if !f.wk.Continue() {
+				break
+			}
+			ns := g.OutNeighbors(v)
+			if len(ns) == 0 {
+				continue // dangling: self-loop
+			}
+			v = int(ns[f.wk.Pick(len(ns))])
+		}
+	}
+	return sum / float64(f.walks), nil
+}

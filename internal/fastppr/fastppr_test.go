@@ -1,0 +1,119 @@
+package fastppr
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func fpWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(200, 1800, 4, 0.2, 811)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{C: 0, Delta: 0.01, Beta: 0.2, PFail: 0.01},
+		{C: 0.15, Delta: 0, Beta: 0.2, PFail: 0.01},
+		{C: 0.15, Delta: 0.01, Beta: 0, PFail: 0.01},
+		{C: 0.15, Delta: 0.01, Beta: 0.2, PFail: 1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+// FAST-PPR's contract: detect whether π_s(t) is above δ with bounded
+// relative error on the high-score pairs.
+func TestPairDetectsHighScores(t *testing.T) {
+	w := fpWalk(t)
+	f, err := New(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Walks() < 16 {
+		t.Fatal("walk count too small")
+	}
+	seed := 13
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relSum float64
+	var count int
+	for _, e := range exact.TopK(10) {
+		got, err := f.Pair(seed, e.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relSum += math.Abs(got-e.Score) / e.Score
+		count++
+		if got == 0 {
+			t.Errorf("pair (%d,%d): estimated 0, want %g", seed, e.Index, e.Score)
+		}
+	}
+	if avg := relSum / float64(count); avg > 0.6 {
+		t.Errorf("mean relative error %g on top pairs", avg)
+	}
+}
+
+// Low-score pairs must estimate well below high-score pairs (the
+// detection ordering is what FAST-PPR is for).
+func TestPairOrdering(t *testing.T) {
+	w := fpWalk(t)
+	f, err := New(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 13
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := exact.TopK(1)[0]
+	// Find a node with a tiny exact score.
+	low := -1
+	for v, x := range exact {
+		if x < top.Score/100 && x > 0 {
+			low = v
+			break
+		}
+	}
+	if low < 0 {
+		t.Skip("no suitable low-score node")
+	}
+	hi, err := f.Pair(seed, top.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := f.Pair(seed, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("ordering violated: top pair %g <= low pair %g", hi, lo)
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	w := fpWalk(t)
+	f, err := New(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Pair(-1, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := f.Pair(0, 999); err == nil {
+		t.Error("bad target accepted")
+	}
+}

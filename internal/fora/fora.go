@@ -1,0 +1,160 @@
+// Package fora implements FORA (Wang et al., KDD 2017 — [27] in the paper):
+// single-source approximate personalized PageRank by Forward Push with early
+// termination followed by compensating Monte-Carlo random walks. The
+// indexed variant (FORA+, what the paper benchmarks) precomputes the random
+// walks in a preprocessing phase; the size of that walk index is what makes
+// FORA's bar in Fig 1(a) tall, and using it is what makes its online phase
+// fast but still slower than TPA's S iterations.
+package fora
+
+import (
+	"fmt"
+	"math"
+
+	"tpa/internal/graph"
+	"tpa/internal/mc"
+	"tpa/internal/push"
+	"tpa/internal/sparse"
+)
+
+// Options are FORA's result-quality parameters. The paper's experiments use
+// (δ, p_f, ε) = (1/n, 1/n, 0.5).
+type Options struct {
+	C       float64 // restart probability
+	Delta   float64 // score threshold δ below which guarantees lapse
+	PFail   float64 // failure probability p_f
+	EpsRel  float64 // relative error ε at scores above δ
+	RMax    float64 // forward-push threshold; 0 derives the balanced value
+	Seed    int64   // PRNG seed for the walk engine
+	Indexed bool    // FORA+ (precompute walks) vs plain FORA
+}
+
+// DefaultOptions mirrors the paper's FORA configuration on an n-node graph.
+func DefaultOptions(n int) Options {
+	nf := float64(n)
+	return Options{
+		C:       0.15,
+		Delta:   1 / nf,
+		PFail:   1 / nf,
+		EpsRel:  0.5,
+		Seed:    1,
+		Indexed: true,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("fora: restart probability %v outside (0,1)", o.C)
+	}
+	if o.Delta <= 0 || o.PFail <= 0 || o.PFail >= 1 || o.EpsRel <= 0 {
+		return fmt.Errorf("fora: invalid quality parameters δ=%v p_f=%v ε=%v", o.Delta, o.PFail, o.EpsRel)
+	}
+	if o.RMax < 0 {
+		return fmt.Errorf("fora: negative rmax %v", o.RMax)
+	}
+	return nil
+}
+
+// Omega returns ω, the total-walk scaling constant of FORA's analysis:
+// ω = (2ε/3 + 2)·ln(2/p_f) / (ε²·δ).
+func (o Options) Omega() float64 {
+	return (2*o.EpsRel/3 + 2) * math.Log(2/o.PFail) / (o.EpsRel * o.EpsRel * o.Delta)
+}
+
+// rmax returns the forward-push threshold: the supplied value, or the
+// cost-balanced default rmax = sqrt(1/(ω·m)) that equalizes push and walk
+// work (FORA §4).
+func (o Options) rmax(m int64) float64 {
+	if o.RMax > 0 {
+		return o.RMax
+	}
+	return math.Sqrt(1 / (o.Omega() * float64(m)))
+}
+
+// FORA is a prepared FORA instance. With Indexed set, Preprocess builds the
+// walk index; otherwise preprocessing is a no-op and walks are simulated
+// online.
+type FORA struct {
+	walk *graph.Walk
+	opts Options
+	wk   *mc.Walker
+	idx  *mc.Index // nil when not indexed
+	rmax float64
+}
+
+// Preprocess builds a FORA instance, precomputing the walk index when
+// opts.Indexed is set: each node v stores ⌈rmax·outdeg(v)·ω⌉ walk
+// destinations — enough, by the push termination rule, for any online query.
+func Preprocess(w *graph.Walk, opts Options) (*FORA, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	wk, err := mc.NewWalker(w, opts.C, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &FORA{walk: w, opts: opts, wk: wk, rmax: opts.rmax(w.Graph().NumEdges())}
+	if opts.Indexed {
+		omega := opts.Omega()
+		g := w.Graph()
+		f.idx = mc.BuildIndex(wk, func(v int) int {
+			d := g.OutDegree(v)
+			if d == 0 {
+				d = 1
+			}
+			return int(math.Ceil(f.rmax * float64(d) * omega))
+		})
+	}
+	return f, nil
+}
+
+// IndexBytes returns the accounted size of the preprocessed data (0 for
+// non-indexed FORA).
+func (f *FORA) IndexBytes() int64 {
+	if f.idx == nil {
+		return 0
+	}
+	return f.idx.Bytes()
+}
+
+// RMax returns the forward-push threshold in effect.
+func (f *FORA) RMax() float64 { return f.rmax }
+
+// Query computes the approximate RWR vector for the seed: forward push to
+// rmax, then ⌈r(v)·ω⌉ compensating walks per remaining residual entry,
+// served from the index when available.
+func (f *FORA) Query(seed int) (sparse.Vector, error) {
+	res, err := push.Forward(f.walk, seed, f.opts.C, f.rmax)
+	if err != nil {
+		return nil, err
+	}
+	est := res.Reserve
+	omega := f.opts.Omega()
+	for v, rv := range res.Residual {
+		if rv <= 0 {
+			continue
+		}
+		k := int(math.Ceil(rv * omega))
+		if k < 1 {
+			k = 1
+		}
+		inc := rv / float64(k)
+		if f.idx != nil {
+			stored := f.idx.Walks(v, k)
+			for _, dst := range stored {
+				est[dst] += inc
+			}
+			// Top up with fresh walks if the index undershoots (possible
+			// only via rounding).
+			for i := len(stored); i < k; i++ {
+				est[f.wk.Step(v)] += inc
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				est[f.wk.Step(v)] += inc
+			}
+		}
+	}
+	return est, nil
+}

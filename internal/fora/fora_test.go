@@ -1,0 +1,163 @@
+package fora
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func foraWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(400, 4000, 5, 0.2, 301)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{C: 0, Delta: 0.01, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: 0, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: 0.01, PFail: 1, EpsRel: 0.5},
+		{C: 0.15, Delta: 0.01, PFail: 0.01, EpsRel: 0},
+		{C: 0.15, Delta: 0.01, PFail: 0.01, EpsRel: 0.5, RMax: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestOmegaFormula(t *testing.T) {
+	o := Options{C: 0.15, Delta: 0.01, PFail: 0.02, EpsRel: 0.5}
+	want := (2*0.5/3 + 2) * math.Log(2/0.02) / (0.5 * 0.5 * 0.01)
+	if got := o.Omega(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Omega = %v, want %v", got, want)
+	}
+}
+
+func TestQueryMassAndAccuracy(t *testing.T) {
+	w := foraWalk(t)
+	f, err := Preprocess(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 100, 399} {
+		exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := f.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mass: reserve + residual-driven walks conserve probability.
+		if math.Abs(approx.Sum()-1) > 1e-9 {
+			t.Errorf("seed %d: mass %g", seed, approx.Sum())
+		}
+		if d := exact.L1Dist(approx); d > 0.15 {
+			t.Errorf("seed %d: L1 error %g too large", seed, d)
+		}
+		// FORA's contract: relative error on entries above delta.
+		o := DefaultOptions(w.N())
+		for v, ex := range exact {
+			if ex > 10*o.Delta { // comfortably above the threshold
+				rel := math.Abs(approx[v]-ex) / ex
+				if rel > 3*o.EpsRel { // slack for the tiny graph
+					t.Errorf("seed %d node %d: relative error %g", seed, v, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedMatchesUnindexedQuality(t *testing.T) {
+	w := foraWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{42}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oIdx := DefaultOptions(w.N())
+	oPlain := oIdx
+	oPlain.Indexed = false
+	fIdx, err := Preprocess(w, oIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPlain, err := Preprocess(w, oPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fIdx.IndexBytes() == 0 {
+		t.Error("indexed FORA reports zero index size")
+	}
+	if fPlain.IndexBytes() != 0 {
+		t.Error("plain FORA reports nonzero index size")
+	}
+	a, err := fIdx.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fPlain.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := exact.L1Dist(a), exact.L1Dist(b)
+	if ea > 0.15 || eb > 0.15 {
+		t.Errorf("errors indexed=%g plain=%g", ea, eb)
+	}
+}
+
+func TestRMaxBalanced(t *testing.T) {
+	w := foraWalk(t)
+	o := DefaultOptions(w.N())
+	f, err := Preprocess(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1 / (o.Omega() * float64(w.Graph().NumEdges())))
+	if math.Abs(f.RMax()-want) > 1e-15 {
+		t.Errorf("RMax = %g, want balanced %g", f.RMax(), want)
+	}
+	// Explicit override wins.
+	o.RMax = 0.01
+	f2, err := Preprocess(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.RMax() != 0.01 {
+		t.Errorf("RMax override ignored: %g", f2.RMax())
+	}
+}
+
+func TestQuerySeedOutOfRange(t *testing.T) {
+	w := foraWalk(t)
+	f, err := Preprocess(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Query(-1); err == nil {
+		t.Error("negative seed accepted")
+	}
+}
+
+func TestIndexSizeGrowsWithGraph(t *testing.T) {
+	small := graph.NewWalk(gen.CommunityRMAT(200, 2000, 4, 0.2, 5), graph.DanglingSelfLoop)
+	large := graph.NewWalk(gen.CommunityRMAT(800, 8000, 4, 0.2, 6), graph.DanglingSelfLoop)
+	fs, err := Preprocess(small, DefaultOptions(small.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Preprocess(large, DefaultOptions(large.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.IndexBytes() <= fs.IndexBytes() {
+		t.Errorf("index bytes did not grow: %d -> %d", fs.IndexBytes(), fl.IndexBytes())
+	}
+}

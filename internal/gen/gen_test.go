@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpa/internal/graph"
+)
+
+func TestErdosRenyiSizes(t *testing.T) {
+	g := ErdosRenyi(100, 500, 1)
+	if g.NumNodes() != 100 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 450 || g.NumEdges() > 500 {
+		t.Fatalf("m = %d, want ~500", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 200, 7)
+	b := ErdosRenyi(50, 200, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for u := 0; u < 50; u++ {
+		av, bv := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(av) != len(bv) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+	c := ErdosRenyi(50, 200, 8)
+	same := true
+	for u := 0; u < 50 && same; u++ {
+		if len(a.OutNeighbors(u)) != len(c.OutNeighbors(u)) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("different seeds gave identical degree sequences (possible but unlikely)")
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := DefaultRMAT(8, 2000, 3)
+	if g.NumNodes() != 256 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: max in-degree should far exceed the average.
+	maxIn, sumIn := 0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.InDegree(u)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := float64(sumIn) / float64(g.NumNodes())
+	if float64(maxIn) < 3*avg {
+		t.Errorf("R-MAT in-degree not skewed: max %d vs avg %.1f", maxIn, avg)
+	}
+}
+
+func TestRMATBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { RMAT(0, 10, 0.5, 0.2, 0.2, 1) },
+		func() { RMAT(4, 10, 0.9, 0.2, 0.2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g := SBM(SBMConfig{Nodes: 400, Communities: 4, AvgOutDeg: 10, PIn: 0.9, Seed: 5})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count intra- vs inter-community edges; intra should dominate.
+	size := 100
+	var intra, inter int
+	for u := 0; u < g.NumNodes(); u++ {
+		cu := u / size
+		for _, v := range g.OutNeighbors(u) {
+			if int(v)/size == cu {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	frac := float64(intra) / float64(intra+inter)
+	if frac < 0.8 {
+		t.Errorf("intra-community fraction %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestSBMBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SBM(SBMConfig{Nodes: 10, Communities: 20, AvgOutDeg: 2, PIn: 0.5})
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 9)
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Early nodes accumulate in-degree: node 0 should be among the richest.
+	d0 := g.InDegree(0)
+	var above int
+	for u := 0; u < 500; u++ {
+		if g.InDegree(u) > d0 {
+			above++
+		}
+	}
+	if above > 25 {
+		t.Errorf("node 0 in-degree rank %d, expected near top under preferential attachment", above)
+	}
+}
+
+func TestCommunityRMAT(t *testing.T) {
+	g := CommunityRMAT(600, 6000, 6, 0.2, 11)
+	if g.NumNodes() != 600 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 3000 {
+		t.Fatalf("m = %d suspiciously small", g.NumEdges())
+	}
+}
+
+func TestGeneratorsNoSelfLoopsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		gs := []*graph.Graph{
+			ErdosRenyi(30, 60, seed),
+			DefaultRMAT(5, 100, seed),
+			SBM(SBMConfig{Nodes: 40, Communities: 4, AvgOutDeg: 4, PIn: 0.8, Seed: seed}),
+			BarabasiAlbert(40, 2, seed),
+		}
+		for _, g := range gs {
+			for u := 0; u < g.NumNodes(); u++ {
+				if g.HasEdge(u, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	// The helper is unexported but its behavior is observable through SBM
+	// edge counts: expected edges ≈ Nodes*AvgOutDeg (minus loop/dup loss).
+	g := SBM(SBMConfig{Nodes: 2000, Communities: 1, AvgOutDeg: 8, PIn: 1, Seed: 13})
+	got := float64(g.NumEdges())
+	want := 2000.0 * 8
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("SBM edge count %v deviates from expectation %v by >25%%", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+// Package graph provides the directed-graph substrate every method in this
+// repository runs on: a compressed sparse row (CSR) representation of the
+// out-adjacency, the matching in-adjacency (CSC), the row-normalized random
+// walk operator Ãᵀ with a configurable dangling-node policy, edge-list I/O,
+// and an explicit CSR matrix type with sparse matrix-matrix products for the
+// fill-in experiments (Figs 3 and 4 of the paper).
+package graph
+
+import "fmt"
+
+// DanglingPolicy controls how nodes with no out-edges are handled when the
+// adjacency matrix is row-normalized. The paper's analysis assumes Ãᵀ is
+// column stochastic; SelfLoop (the default) guarantees that by giving every
+// dangling node an implicit self-loop.
+type DanglingPolicy int
+
+const (
+	// DanglingSelfLoop treats a dangling node as if it had a single
+	// self-loop, preserving column stochasticity of Ãᵀ. Default.
+	DanglingSelfLoop DanglingPolicy = iota
+	// DanglingDrop lets random-walk mass at dangling nodes vanish. The
+	// operator becomes column substochastic; CPI still converges but the
+	// L1-norm identities of Lemma 2 hold only approximately.
+	DanglingDrop
+	// DanglingUniform spreads mass at dangling nodes uniformly over all
+	// nodes (the classical "Google matrix" patch).
+	DanglingUniform
+)
+
+func (p DanglingPolicy) String() string {
+	switch p {
+	case DanglingSelfLoop:
+		return "self-loop"
+	case DanglingDrop:
+		return "drop"
+	case DanglingUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("DanglingPolicy(%d)", int(p))
+	}
+}
+
+// Graph is an immutable directed graph in CSR form. Node ids are dense
+// integers in [0, N). Build one with a Builder or a generator from
+// internal/gen; after construction the adjacency slices must not be mutated.
+type Graph struct {
+	n int
+
+	// Out-adjacency (CSR over rows = source nodes).
+	outPtr []int64
+	outIdx []int32
+
+	// In-adjacency (CSC of the same matrix; CSR over destination nodes).
+	inPtr []int64
+	inIdx []int32
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outIdx)) }
+
+// OutDegree returns the out-degree of node u.
+func (g *Graph) OutDegree(u int) int { return int(g.outPtr[u+1] - g.outPtr[u]) }
+
+// InDegree returns the in-degree of node u.
+func (g *Graph) InDegree(u int) int { return int(g.inPtr[u+1] - g.inPtr[u]) }
+
+// OutNeighbors returns the out-neighbor slice of node u. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) OutNeighbors(u int) []int32 { return g.outIdx[g.outPtr[u]:g.outPtr[u+1]] }
+
+// InNeighbors returns the in-neighbor slice of node u. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(u int) []int32 { return g.inIdx[g.inPtr[u]:g.inPtr[u+1]] }
+
+// HasEdge reports whether the edge u→v exists. Neighbor lists are sorted, so
+// this is a binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	ns := g.OutNeighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(ns[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && int(ns[lo]) == v
+}
+
+// DanglingCount returns the number of nodes with no out-edges.
+func (g *Graph) DanglingCount() int {
+	var c int
+	for u := 0; u < g.n; u++ {
+		if g.OutDegree(u) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Bytes returns the accounted in-memory size of the CSR+CSC structure.
+func (g *Graph) Bytes() int64 {
+	return int64(len(g.outPtr)+len(g.inPtr))*8 + int64(len(g.outIdx)+len(g.inIdx))*4
+}
+
+// Validate checks structural invariants (monotone pointers, in-range ids,
+// sorted adjacency, CSR/CSC edge-count agreement). It is used by tests and
+// by loaders on untrusted input.
+func (g *Graph) Validate() error {
+	if len(g.outPtr) != g.n+1 || len(g.inPtr) != g.n+1 {
+		return fmt.Errorf("graph: pointer array length mismatch")
+	}
+	if g.outPtr[g.n] != int64(len(g.outIdx)) || g.inPtr[g.n] != int64(len(g.inIdx)) {
+		return fmt.Errorf("graph: pointer/index length mismatch")
+	}
+	if len(g.outIdx) != len(g.inIdx) {
+		return fmt.Errorf("graph: CSR has %d edges but CSC has %d", len(g.outIdx), len(g.inIdx))
+	}
+	for _, ptr := range [][]int64{g.outPtr, g.inPtr} {
+		for i := 1; i <= g.n; i++ {
+			if ptr[i] < ptr[i-1] {
+				return fmt.Errorf("graph: non-monotone pointer at %d", i)
+			}
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		prev := int32(-1)
+		for _, v := range g.OutNeighbors(u) {
+			if v < 0 || int(v) >= g.n {
+				return fmt.Errorf("graph: out-neighbor %d of %d out of range", v, u)
+			}
+			if v <= prev {
+				return fmt.Errorf("graph: out-neighbors of %d not strictly sorted", u)
+			}
+			prev = v
+		}
+		prev = -1
+		for _, v := range g.InNeighbors(u) {
+			if v < 0 || int(v) >= g.n {
+				return fmt.Errorf("graph: in-neighbor %d of %d out of range", v, u)
+			}
+			if v <= prev {
+				return fmt.Errorf("graph: in-neighbors of %d not strictly sorted", u)
+			}
+			prev = v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2
+
+2	0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(2, 0) {
+		t.Fatal("missing tab-separated edge")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0\n", "a b\n", "0 b\n", "-1 2\n"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edges %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	// The dangling node 4 has no edges, so its id may not round-trip;
+	// node count can legitimately shrink. All edges must survive.
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !g2.HasEdge(u, int(v)) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	g := diamond()
+	for _, name := range []string{"g.tsv", "g.tsv.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: edges %d != %d", name, g2.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path/graph.tsv"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// FuzzReadEdgeList checks the parser never panics and always produces a
+// structurally valid graph on arbitrary input.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("-1 2\n")
+	f.Add("999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+	})
+}
+
+func TestReadEdgeListRejectsHugeIDs(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("2147483647 1\n")); err == nil {
+		t.Error("id above MaxNodeID accepted")
+	}
+}

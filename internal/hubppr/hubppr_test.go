@@ -1,0 +1,172 @@
+package hubppr
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func hubWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(200, 2000, 4, 0.2, 401)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{C: 1, Delta: 0.01, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: -1, PFail: 0.01, EpsRel: 0.5},
+		{C: 0.15, Delta: 0.01, PFail: 0.01, EpsRel: 0.5, HubFrac: 2},
+		{C: 0.15, Delta: 0.01, PFail: 0.01, EpsRel: 0.5, WalksPerHub: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestPairMatchesExact(t *testing.T) {
+	w := hubWalk(t)
+	h, err := Preprocess(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 11
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the top exact entries: those are above delta where the
+	// guarantee applies.
+	for _, e := range exact.TopK(10) {
+		got, err := h.Pair(seed, e.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(got-e.Score) / e.Score
+		if rel > 1.0 { // generous: tiny graph, ε=0.5 guarantee is probabilistic
+			t.Errorf("pair (%d,%d): got %g want %g (rel %g)", seed, e.Index, got, e.Score, rel)
+		}
+	}
+}
+
+func TestQueryVectorAccuracy(t *testing.T) {
+	w := hubWalk(t)
+	h, err := Preprocess(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 42
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := h.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(approx); d > 0.2 {
+		t.Errorf("L1 error %g too large", d)
+	}
+	// Top-10 recall should be high.
+	want := exact.TopK(10)
+	gotSet := make(map[int]bool)
+	for _, e := range approx.TopK(10) {
+		gotSet[e.Index] = true
+	}
+	var hits int
+	for _, e := range want {
+		if gotSet[e.Index] {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Errorf("top-10 recall %d/10", hits)
+	}
+}
+
+func TestHubCachesBuilt(t *testing.T) {
+	w := hubWalk(t)
+	o := DefaultOptions(w.N())
+	o.HubFrac = 0.05
+	h, err := Preprocess(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHubs := int(math.Ceil(0.05 * float64(w.N())))
+	if len(h.fwdHub) != wantHubs || len(h.backHub) != wantHubs {
+		t.Errorf("hub caches %d/%d, want %d", len(h.fwdHub), len(h.backHub), wantHubs)
+	}
+	if h.IndexBytes() == 0 {
+		t.Error("IndexBytes = 0 with hubs present")
+	}
+}
+
+func TestNoHubsStillWorks(t *testing.T) {
+	w := hubWalk(t)
+	o := DefaultOptions(w.N())
+	o.HubFrac = 0
+	h, err := Preprocess(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.IndexBytes() != 0 {
+		t.Errorf("IndexBytes = %d with no hubs", h.IndexBytes())
+	}
+	if _, err := h.Pair(1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	w := hubWalk(t)
+	h, err := Preprocess(w, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Pair(-1, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := h.Pair(0, 900); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := h.Query(-5); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+func TestHubQueryUsesCache(t *testing.T) {
+	// A query whose seed is the top-degree hub must still be accurate.
+	w := hubWalk(t)
+	g := w.Graph()
+	hub, best := 0, -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.InDegree(u) + g.OutDegree(u); d > best {
+			hub, best = u, d
+		}
+	}
+	o := DefaultOptions(w.N())
+	o.WalksPerHub = 100000 // ensure cache covers the pair-walk requirement
+	h, err := Preprocess(w, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := rwr.PowerIteration(w, []int{hub}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := h.Query(hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exact.L1Dist(approx); d > 0.2 {
+		t.Errorf("hub-seed query error %g", d)
+	}
+}

@@ -1,0 +1,128 @@
+// Package mc implements the Monte-Carlo random-walk engine used by FORA and
+// HubPPR: α-discounted random walks whose terminal-node distribution is
+// exactly the RWR vector of the start node, plus a reusable walk index
+// (precomputed walk destinations) — the "preprocessed data" whose size
+// Fig 1(a) accounts for FORA and HubPPR.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpa/internal/graph"
+	"tpa/internal/sparse"
+)
+
+// Walker performs restart-terminated random walks on a graph. It is not
+// safe for concurrent use (the rng is shared); create one per goroutine.
+type Walker struct {
+	w   *graph.Walk
+	c   float64
+	rng *rand.Rand
+}
+
+// NewWalker returns a walker with restart probability c and a deterministic
+// seed.
+func NewWalker(w *graph.Walk, c float64, seed int64) (*Walker, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("mc: restart probability %v outside (0,1)", c)
+	}
+	return &Walker{w: w, c: c, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Step returns the endpoint of one α-discounted walk from start: at every
+// node the walk stops with probability c, otherwise moves to a uniform
+// random out-neighbor (dangling nodes self-loop, matching
+// graph.DanglingSelfLoop).
+func (wk *Walker) Step(start int) int {
+	g := wk.w.Graph()
+	v := start
+	for {
+		if wk.rng.Float64() < wk.c {
+			return v
+		}
+		ns := g.OutNeighbors(v)
+		if len(ns) == 0 {
+			// Self-loop: the walk stays until it restarts.
+			continue
+		}
+		v = int(ns[wk.rng.Intn(len(ns))])
+	}
+}
+
+// Continue reports whether a walk standing at a node takes another step
+// (probability 1-c) rather than restarting. It exposes step-level control
+// for algorithms that stop walks at frontier sets (FAST-PPR).
+func (wk *Walker) Continue() bool { return wk.rng.Float64() >= wk.c }
+
+// Pick returns a uniform index in [0,n), for choosing among out-neighbors
+// in externally-driven walks.
+func (wk *Walker) Pick(n int) int { return wk.rng.Intn(n) }
+
+// Estimate runs walks terminated walks from seed and returns the empirical
+// terminal distribution, an unbiased estimator of the RWR vector.
+func (wk *Walker) Estimate(seed, walks int) (sparse.Vector, error) {
+	if seed < 0 || seed >= wk.w.N() {
+		return nil, fmt.Errorf("mc: seed %d outside [0,%d)", seed, wk.w.N())
+	}
+	if walks <= 0 {
+		return nil, fmt.Errorf("mc: walk count %d must be positive", walks)
+	}
+	est := sparse.NewVector(wk.w.N())
+	inc := 1 / float64(walks)
+	for i := 0; i < walks; i++ {
+		est[wk.Step(seed)] += inc
+	}
+	return est, nil
+}
+
+// Index stores precomputed walk destinations per node: index.Dest[node] is
+// a slice of terminal nodes of independent walks started at node. FORA+ and
+// HubPPR both pay memory for exactly this structure.
+type Index struct {
+	Dest [][]int32
+}
+
+// BuildIndex precomputes walksPerNode(v) walk destinations for every node.
+// The per-node count callback lets FORA size the index by rmax·outdeg·ω.
+func BuildIndex(wk *Walker, walksPerNode func(v int) int) *Index {
+	n := wk.w.N()
+	idx := &Index{Dest: make([][]int32, n)}
+	for v := 0; v < n; v++ {
+		k := walksPerNode(v)
+		if k <= 0 {
+			continue
+		}
+		dst := make([]int32, k)
+		for i := 0; i < k; i++ {
+			dst[i] = int32(wk.Step(v))
+		}
+		idx.Dest[v] = dst
+	}
+	return idx
+}
+
+// Walks returns up to k precomputed destinations for node v and the number
+// actually available.
+func (idx *Index) Walks(v, k int) []int32 {
+	d := idx.Dest[v]
+	if k > len(d) {
+		k = len(d)
+	}
+	return d[:k]
+}
+
+// Stored returns the total number of precomputed walks.
+func (idx *Index) Stored() int64 {
+	var t int64
+	for _, d := range idx.Dest {
+		t += int64(len(d))
+	}
+	return t
+}
+
+// Bytes returns the accounted index size: 4 bytes per stored destination
+// plus one slice header word per node.
+func (idx *Index) Bytes() int64 {
+	return idx.Stored()*4 + int64(len(idx.Dest))*8
+}

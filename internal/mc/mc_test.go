@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func mcWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(150, 1500, 4, 0.2, 201)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	w := mcWalk(t)
+	for _, c := range []float64{0, 1, -0.3, 1.5} {
+		if _, err := NewWalker(w, c, 1); err == nil {
+			t.Errorf("c = %v accepted", c)
+		}
+	}
+}
+
+func TestEstimateConvergesToExact(t *testing.T) {
+	w := mcWalk(t)
+	wk, err := NewWalker(w, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 13
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := wk.Estimate(seed, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Sum()-1) > 1e-12 {
+		t.Fatalf("estimate mass %g", est.Sum())
+	}
+	// L1 error of an MC estimate with 2e5 walks on 150 nodes should be
+	// well under 0.1.
+	if d := exact.L1Dist(est); d > 0.1 {
+		t.Errorf("MC L1 error %g too large", d)
+	}
+	// The seed's own score (largest entry) should match closely.
+	if math.Abs(est[seed]-exact[seed]) > 0.02 {
+		t.Errorf("seed score %g vs exact %g", est[seed], exact[seed])
+	}
+}
+
+func TestEstimateErrorShrinksWithWalks(t *testing.T) {
+	w := mcWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{4}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSmall, errLarge float64
+	for trial := 0; trial < 3; trial++ {
+		wk, _ := NewWalker(w, 0.15, int64(trial))
+		a, _ := wk.Estimate(4, 1000)
+		b, _ := wk.Estimate(4, 50000)
+		errSmall += exact.L1Dist(a)
+		errLarge += exact.L1Dist(b)
+	}
+	if errLarge >= errSmall {
+		t.Errorf("error did not shrink with walks: %g -> %g", errSmall/3, errLarge/3)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	w := mcWalk(t)
+	wk, _ := NewWalker(w, 0.15, 1)
+	if _, err := wk.Estimate(-1, 10); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := wk.Estimate(0, 0); err == nil {
+		t.Error("zero walks accepted")
+	}
+}
+
+func TestStepDanglingStaysPut(t *testing.T) {
+	g := graph.FromEdges(2, [][2]int{{1, 0}})
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	wk, _ := NewWalker(w, 0.15, 3)
+	for i := 0; i < 50; i++ {
+		if got := wk.Step(0); got != 0 {
+			t.Fatalf("walk escaped dangling node to %d", got)
+		}
+	}
+}
+
+func TestIndexBuildAndQuery(t *testing.T) {
+	w := mcWalk(t)
+	wk, _ := NewWalker(w, 0.15, 9)
+	idx := BuildIndex(wk, func(v int) int { return 5 })
+	if idx.Stored() != int64(5*w.N()) {
+		t.Fatalf("stored = %d", idx.Stored())
+	}
+	if got := idx.Walks(3, 3); len(got) != 3 {
+		t.Fatalf("Walks(3,3) returned %d", len(got))
+	}
+	if got := idx.Walks(3, 99); len(got) != 5 {
+		t.Fatalf("Walks over-request returned %d", len(got))
+	}
+	wantBytes := idx.Stored()*4 + int64(w.N())*8
+	if idx.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", idx.Bytes(), wantBytes)
+	}
+}
+
+func TestIndexSkipsZeroCounts(t *testing.T) {
+	w := mcWalk(t)
+	wk, _ := NewWalker(w, 0.15, 10)
+	idx := BuildIndex(wk, func(v int) int {
+		if v%2 == 0 {
+			return 2
+		}
+		return 0
+	})
+	if idx.Dest[1] != nil {
+		t.Error("odd node got walks")
+	}
+	if len(idx.Dest[0]) != 2 {
+		t.Error("even node missing walks")
+	}
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	w := mcWalk(t)
+	a, _ := NewWalker(w, 0.15, 42)
+	b, _ := NewWalker(w, 0.15, 42)
+	for i := 0; i < 100; i++ {
+		if a.Step(i%w.N()) != b.Step(i%w.N()) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package nblin
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+func nbWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.SBM(gen.SBMConfig{Nodes: 200, Communities: 4, AvgOutDeg: 10, PIn: 0.9, Seed: 701})
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(500).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{MaxPart: 0, Rank: 4, SVDIters: 10, LPRounds: 5},
+		{MaxPart: 50, Rank: 0, SVDIters: 10, LPRounds: 5},
+		{MaxPart: 50, Rank: 4, SVDIters: 0, LPRounds: 5},
+		{MaxPart: 50, Rank: 4, SVDIters: 10, LPRounds: 0},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+// With full rank, Woodbury is exact: NB-LIN must match power iteration.
+func TestFullRankIsExact(t *testing.T) {
+	g := gen.SBM(gen.SBMConfig{Nodes: 60, Communities: 3, AvgOutDeg: 6, PIn: 0.85, Seed: 702})
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	opts := DefaultOptions(60)
+	opts.Rank = 60 // full rank
+	opts.SVDIters = 120
+	nb, err := Preprocess(w, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 30, 59} {
+		exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := exact.L1Dist(got); d > 1e-4 {
+			t.Errorf("seed %d: full-rank NB-LIN deviates by %g", seed, d)
+		}
+	}
+}
+
+func TestLowRankReasonable(t *testing.T) {
+	w := nbWalk(t)
+	cfg := rwr.DefaultConfig()
+	nb, err := Preprocess(w, cfg, DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 42
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NB-LIN is the least accurate method in the paper (Fig 7); allow a
+	// loose budget but require the result to be clearly informative.
+	if d := exact.L1Dist(got); d > 0.8 {
+		t.Errorf("L1 error %g too large even for NB-LIN", d)
+	}
+	// Top-10 should still overlap substantially.
+	want := exact.TopK(10)
+	gotSet := make(map[int]bool)
+	for _, e := range got.TopK(10) {
+		gotSet[e.Index] = true
+	}
+	var hits int
+	for _, e := range want {
+		if gotSet[e.Index] {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Errorf("top-10 overlap %d/10", hits)
+	}
+}
+
+func TestHigherRankImproves(t *testing.T) {
+	w := nbWalk(t)
+	cfg := rwr.DefaultConfig()
+	seed := 7
+	exact, _, err := rwr.PowerIteration(w, []int{seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errLow, errHigh float64
+	for _, rank := range []int{2, 64} {
+		opts := DefaultOptions(w.N())
+		opts.Rank = rank
+		opts.SVDIters = 60
+		nb, err := Preprocess(w, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rank == 2 {
+			errLow = exact.L1Dist(got)
+		} else {
+			errHigh = exact.L1Dist(got)
+		}
+	}
+	if errHigh > errLow+1e-9 {
+		t.Errorf("rank 64 error %g worse than rank 2 error %g", errHigh, errLow)
+	}
+}
+
+func TestNoCrossEdges(t *testing.T) {
+	// A graph that partitions perfectly (two disjoint cliques within
+	// MaxPart) has no cross edges: rank 0, pure block solve, exact.
+	b := graph.NewBuilderN(20)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j {
+				b.AddEdge(i, j)
+				b.AddEdge(10+i, 10+j)
+			}
+		}
+	}
+	w := graph.NewWalk(b.Build(), graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	nb, err := Preprocess(w, cfg, Options{MaxPart: 10, Rank: 4, SVDIters: 10, LPRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Rank() != 0 {
+		t.Logf("rank %d (>0 means the partitioner split a clique)", nb.Rank())
+	}
+	exact, _, err := rwr.PowerIteration(w, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Rank() == 0 {
+		if d := exact.L1Dist(got); d > 1e-8 {
+			t.Errorf("cross-free NB-LIN deviates by %g", d)
+		}
+	}
+}
+
+func TestIndexBytesGrowWithRank(t *testing.T) {
+	w := nbWalk(t)
+	cfg := rwr.DefaultConfig()
+	small, err := Preprocess(w, cfg, Options{MaxPart: 100, Rank: 2, SVDIters: 10, LPRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Preprocess(w, cfg, Options{MaxPart: 100, Rank: 32, SVDIters: 10, LPRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IndexBytes() <= small.IndexBytes() {
+		t.Errorf("index bytes did not grow with rank: %d vs %d", small.IndexBytes(), big.IndexBytes())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	w := nbWalk(t)
+	nb, err := Preprocess(w, rwr.DefaultConfig(), DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Query(-1); err == nil {
+		t.Error("negative seed accepted")
+	}
+	if _, err := nb.Query(10_000); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestMassApproximatelyOne(t *testing.T) {
+	w := nbWalk(t)
+	nb, err := Preprocess(w, rwr.DefaultConfig(), DefaultOptions(w.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := nb.Query(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank truncation perturbs mass; it must still be in the right
+	// ballpark.
+	if math.Abs(r.Sum()-1) > 0.5 {
+		t.Errorf("NB-LIN mass %g far from 1", r.Sum())
+	}
+}

@@ -1,0 +1,186 @@
+package push
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+func pushWalk(tb testing.TB) *graph.Walk {
+	tb.Helper()
+	g := gen.CommunityRMAT(250, 2500, 5, 0.2, 101)
+	return graph.NewWalk(g, graph.DanglingSelfLoop)
+}
+
+func TestForwardMassInvariant(t *testing.T) {
+	w := pushWalk(t)
+	for _, rmax := range []float64{1e-2, 1e-4, 1e-6} {
+		res, err := Forward(w, 17, 0.15, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.Reserve.Sum() + res.Residual.Sum()
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("rmax %g: reserve+residual = %g, want 1", rmax, total)
+		}
+	}
+}
+
+func TestForwardConvergesToExact(t *testing.T) {
+	w := pushWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{17}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr = math.Inf(1)
+	for _, rmax := range []float64{1e-3, 1e-5, 1e-7} {
+		res, err := Forward(w, 17, 0.15, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := exact.L1Dist(res.Reserve)
+		if e > res.Residual.Sum()+1e-9 {
+			t.Errorf("rmax %g: error %g exceeds residual bound %g", rmax, e, res.Residual.Sum())
+		}
+		if e > prevErr+1e-12 {
+			t.Errorf("error did not shrink with rmax: %g -> %g", prevErr, e)
+		}
+		prevErr = e
+	}
+	// The residual certificate bounds the achievable error: Σ_v r(v) ≤
+	// rmax·Σ_v deg(v) = rmax·m, here 1e-7·2500.
+	if prevErr > 1e-3 {
+		t.Errorf("tight forward push still has error %g", prevErr)
+	}
+}
+
+func TestForwardReserveIsLowerBound(t *testing.T) {
+	w := pushWalk(t)
+	exact, _, err := rwr.PowerIteration(w, []int{3}, rwr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Forward(w, 3, 0.15, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		if res.Reserve[v] > exact[v]+1e-7 {
+			t.Fatalf("reserve[%d] = %g exceeds exact %g", v, res.Reserve[v], exact[v])
+		}
+	}
+}
+
+func TestForwardDanglingSeed(t *testing.T) {
+	// Seed with no out-edges: the walk self-loops, so π = e_seed.
+	g := graph.FromEdges(3, [][2]int{{1, 0}, {2, 1}})
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	res, err := Forward(w, 0, 0.15, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := res.Reserve[0] + res.Residual.Sum()
+	if math.Abs(approx-1) > 1e-6 || res.Reserve[1] != 0 {
+		t.Errorf("dangling seed: reserve %v residual sum %g", res.Reserve, res.Residual.Sum())
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	w := pushWalk(t)
+	if _, err := Forward(w, -1, 0.15, 1e-3); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := Forward(w, 0, 0, 1e-3); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := Forward(w, 0, 0.15, 0); err == nil {
+		t.Error("bad rmax accepted")
+	}
+}
+
+// Backward push identity: for every source s,
+// π_s(t) = Reserve[s] + Σ_v π_s(v)·Residual[v].
+func TestBackwardIdentity(t *testing.T) {
+	g := gen.CommunityRMAT(120, 1100, 4, 0.2, 102)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	target := 7
+	res, err := Backward(w, target, 0.15, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, 30, 90} {
+		exact, _, err := rwr.PowerIteration(w, []int{s}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact[target]
+		got := res.Reserve[s] + exact.Dot(res.Residual)
+		if math.Abs(want-got) > 1e-6 {
+			t.Errorf("source %d: identity %g vs exact %g", s, got, want)
+		}
+	}
+}
+
+func TestBackwardResidualBelowRmax(t *testing.T) {
+	w := pushWalk(t)
+	rmax := 1e-3
+	res, err := Backward(w, 11, 0.15, rmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res.Residual {
+		if r >= rmax {
+			t.Fatalf("residual[%d] = %g not reduced below rmax", v, r)
+		}
+	}
+}
+
+func TestBackwardTightApproximatesColumn(t *testing.T) {
+	g := gen.CommunityRMAT(100, 900, 4, 0.2, 103)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	target := 42
+	res, err := Backward(w, target, 0.15, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, 50, 99} {
+		exact, _, err := rwr.PowerIteration(w, []int{s}, rwr.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Reserve[s]-exact[target]) > 1e-5 {
+			t.Errorf("π_%d(%d): backward %g vs exact %g", s, target, res.Reserve[s], exact[target])
+		}
+	}
+}
+
+func TestBackwardErrors(t *testing.T) {
+	w := pushWalk(t)
+	if _, err := Backward(w, 999, 0.15, 1e-3); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := Backward(w, 0, 1, 1e-3); err == nil {
+		t.Error("bad c accepted")
+	}
+	if _, err := Backward(w, 0, 0.15, -1); err == nil {
+		t.Error("bad rmax accepted")
+	}
+}
+
+func TestForwardLooseRmaxDoesNothing(t *testing.T) {
+	w := pushWalk(t)
+	// rmax larger than 1/deg(seed): no push happens, all mass stays residual.
+	res, err := Forward(w, 17, 0.15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pushes != 0 || res.Residual.Sum() != 1 {
+		t.Errorf("pushes=%d residual=%g", res.Pushes, res.Residual.Sum())
+	}
+	_ = sparse.Vector(nil) // keep import
+}

@@ -1,0 +1,148 @@
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"tpa/internal/graph"
+)
+
+// Partition assigns every node to one of several parts of bounded size. It
+// stands in for METIS in NB-LIN: label propagation finds communities, which
+// are then bin-packed into parts no larger than maxPart.
+type Partition struct {
+	// Part[u] is the part id of node u.
+	Part []int
+	// Sizes[p] is the number of nodes in part p.
+	Sizes []int
+}
+
+// NumParts returns the number of parts.
+func (p *Partition) NumParts() int { return len(p.Sizes) }
+
+// Nodes returns the nodes of part id in ascending order.
+func (p *Partition) Nodes(id int) []int {
+	var out []int
+	for u, pu := range p.Part {
+		if pu == id {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Validate checks that the partition covers all nodes and respects the size
+// cap.
+func (p *Partition) Validate(n, maxPart int) error {
+	if len(p.Part) != n {
+		return fmt.Errorf("reorder: partition covers %d of %d nodes", len(p.Part), n)
+	}
+	counts := make([]int, p.NumParts())
+	for u, pu := range p.Part {
+		if pu < 0 || pu >= p.NumParts() {
+			return fmt.Errorf("reorder: node %d in invalid part %d", u, pu)
+		}
+		counts[pu]++
+	}
+	for id, c := range counts {
+		if c != p.Sizes[id] {
+			return fmt.Errorf("reorder: part %d size %d != recorded %d", id, c, p.Sizes[id])
+		}
+		if c > maxPart {
+			return fmt.Errorf("reorder: part %d size %d exceeds cap %d", id, c, maxPart)
+		}
+	}
+	return nil
+}
+
+// LabelPropagation partitions the graph into parts of at most maxPart nodes:
+// `rounds` synchronous label-propagation sweeps over the undirected version
+// of the graph find communities; communities are then split (if oversized)
+// and greedily bin-packed (if undersized) into parts.
+func LabelPropagation(g *graph.Graph, maxPart, rounds int) (*Partition, error) {
+	n := g.NumNodes()
+	if maxPart < 1 {
+		return nil, fmt.Errorf("reorder: maxPart %d must be positive", maxPart)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("reorder: rounds %d must be positive", rounds)
+	}
+	label := make([]int, n)
+	for u := range label {
+		label[u] = u
+	}
+	counts := make(map[int]int)
+	for round := 0; round < rounds; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			// Most frequent label among undirected neighbors; ties go to
+			// the smallest label for determinism.
+			clear(counts)
+			for _, v := range g.OutNeighbors(u) {
+				counts[label[v]]++
+			}
+			for _, v := range g.InNeighbors(u) {
+				counts[label[v]]++
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best, bestCnt := label[u], 0
+			for l, c := range counts {
+				if c > bestCnt || (c == bestCnt && l < best) {
+					best, bestCnt = l, c
+				}
+			}
+			if best != label[u] {
+				label[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Group nodes by final label.
+	groups := make(map[int][]int)
+	for u, l := range label {
+		groups[l] = append(groups[l], u)
+	}
+	labels := make([]int, 0, len(groups))
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	// Split oversized communities, then first-fit-decreasing bin pack.
+	var chunks [][]int
+	for _, l := range labels {
+		nodes := groups[l]
+		for len(nodes) > maxPart {
+			chunks = append(chunks, nodes[:maxPart])
+			nodes = nodes[maxPart:]
+		}
+		if len(nodes) > 0 {
+			chunks = append(chunks, nodes)
+		}
+	}
+	sort.SliceStable(chunks, func(a, b int) bool { return len(chunks[a]) > len(chunks[b]) })
+	part := make([]int, n)
+	var sizes []int
+	for _, chunk := range chunks {
+		placed := -1
+		for id, sz := range sizes {
+			if sz+len(chunk) <= maxPart {
+				placed = id
+				break
+			}
+		}
+		if placed == -1 {
+			placed = len(sizes)
+			sizes = append(sizes, 0)
+		}
+		for _, u := range chunk {
+			part[u] = placed
+		}
+		sizes[placed] += len(chunk)
+	}
+	return &Partition{Part: part, Sizes: sizes}, nil
+}

@@ -1,0 +1,153 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{C: 0, Eps: 1e-9},
+		{C: 1, Eps: 1e-9},
+		{C: 0.15, Eps: 0},
+		{C: 0.15, Eps: 1e-9, MaxIter: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestSeedVector(t *testing.T) {
+	q, err := SeedVector(4, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[1] != 0.5 || q[3] != 0.5 || q.Sum() != 1 {
+		t.Errorf("q = %v", q)
+	}
+	if _, err := SeedVector(4, nil); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := SeedVector(4, []int{4}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestPowerIterationAgainstDense(t *testing.T) {
+	g := gen.CommunityRMAT(150, 1200, 5, 0.2, 1)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := DefaultConfig()
+	for _, seed := range []int{0, 75, 149} {
+		pi, iters, err := PowerIteration(w, []int{seed}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters == 0 {
+			t.Error("no iterations performed")
+		}
+		de, err := DenseExact(w, []int{seed}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pi.L1Dist(de); d > 1e-6 {
+			t.Errorf("seed %d: power vs dense L1 = %g", seed, d)
+		}
+	}
+}
+
+func TestPowerIterationMassOne(t *testing.T) {
+	g := gen.ErdosRenyi(100, 400, 2)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	r, _, err := PowerIteration(w, []int{5}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Sum()-1) > 1e-6 {
+		t.Errorf("RWR mass = %g", r.Sum())
+	}
+	for _, x := range r {
+		if x < 0 {
+			t.Fatal("negative score")
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every node is symmetric → PageRank is uniform.
+	n := 12
+	b := graph.NewBuilderN(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	w := graph.NewWalk(b.Build(), graph.DanglingSelfLoop)
+	pr, _, err := PageRank(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range pr {
+		if math.Abs(x-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("node %d: PageRank %g, want uniform %g", i, x, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankFavorsHighInDegree(t *testing.T) {
+	// Star pointing at node 0: node 0 must outrank the leaves.
+	n := 20
+	b := graph.NewBuilderN(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, 0)
+	}
+	b.AddEdge(0, 1)
+	w := graph.NewWalk(b.Build(), graph.DanglingSelfLoop)
+	pr, _, err := PageRank(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if pr[0] <= pr[i] {
+			t.Fatalf("hub not top ranked: pr[0]=%g pr[%d]=%g", pr[0], i, pr[i])
+		}
+	}
+}
+
+func TestRWRSeedLocality(t *testing.T) {
+	// The seed itself must hold the single largest RWR score at c=0.5
+	// (restart mass dominates).
+	g := gen.CommunityRMAT(200, 1600, 4, 0.2, 3)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := Config{C: 0.5, Eps: 1e-9}
+	seed := 57
+	r, _, err := PowerIteration(w, []int{seed}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmax, _ := r.Max()
+	if argmax != seed {
+		t.Errorf("argmax = %d, want seed %d", argmax, seed)
+	}
+}
+
+func TestDenseExactRefusesHugeGraphs(t *testing.T) {
+	g := gen.ErdosRenyi(5000, 5000, 4)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	if _, err := DenseExact(w, []int{0}, DefaultConfig()); err == nil {
+		t.Error("DenseExact accepted a 5000-node graph")
+	}
+}
+
+func TestIterBoundMonotoneInEps(t *testing.T) {
+	loose := Config{C: 0.15, Eps: 1e-3}
+	tight := Config{C: 0.15, Eps: 1e-12}
+	if loose.IterBound() >= tight.IterBound() {
+		t.Errorf("IterBound not monotone: %d vs %d", loose.IterBound(), tight.IterBound())
+	}
+}

@@ -1,0 +1,180 @@
+// Package server provides the HTTP query service in front of a TPA engine
+// (cmd/tpad): JSON endpoints for top-k queries, single scores, multi-seed
+// personalized PageRank, and basic introspection. It is the "query server"
+// deployment shape the paper's preprocessing/online split is designed for —
+// preprocess once, ship the O(n) index, answer seeds cheaply.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tpa/internal/sparse"
+)
+
+// Engine is the query interface the server fronts. *tpa.Engine satisfies
+// it.
+type Engine interface {
+	Query(seed int) ([]float64, error)
+	QuerySet(seeds []int) ([]float64, error)
+	TopK(seed, k int) ([]sparse.Entry, error)
+	Params() (s, t int)
+	IndexBytes() int64
+	ErrorBound() float64
+}
+
+// Info describes the served graph for the /stats endpoint.
+type Info struct {
+	Nodes int    `json:"nodes"`
+	Edges int64  `json:"edges"`
+	Name  string `json:"name,omitempty"`
+}
+
+// Handler serves the TPA query API:
+//
+//	GET  /topk?seed=42&k=10       → {"seed":42,"results":[{"node":..,"score":..},...]}
+//	GET  /score?seed=42&node=7    → {"seed":42,"node":7,"score":0.0123}
+//	POST /queryset  {"seeds":[1,2],"k":10}
+//	GET  /stats                   → graph/engine metadata
+//	GET  /healthz                 → 200 ok
+type Handler struct {
+	eng  Engine
+	info Info
+	mux  *http.ServeMux
+}
+
+// New builds the handler.
+func New(eng Engine, info Info) *Handler {
+	h := &Handler{eng: eng, info: info, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /topk", h.topk)
+	h.mux.HandleFunc("GET /score", h.score)
+	h.mux.HandleFunc("POST /queryset", h.querySet)
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// entryJSON is the wire form of a scored node.
+type entryJSON struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func toJSON(es []sparse.Entry) []entryJSON {
+	out := make([]entryJSON, len(es))
+	for i, e := range es {
+		out[i] = entryJSON{Node: e.Index, Score: e.Score}
+	}
+	return out
+}
+
+func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
+	seed, err := intParam(r, "seed", -1)
+	if err != nil || seed < 0 {
+		httpError(w, http.StatusBadRequest, "missing or invalid seed")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 {
+		httpError(w, http.StatusBadRequest, "invalid k")
+		return
+	}
+	top, err := h.eng.TopK(seed, k)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{"seed": seed, "results": toJSON(top)})
+}
+
+func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
+	seed, err := intParam(r, "seed", -1)
+	if err != nil || seed < 0 {
+		httpError(w, http.StatusBadRequest, "missing or invalid seed")
+		return
+	}
+	node, err := intParam(r, "node", -1)
+	if err != nil || node < 0 {
+		httpError(w, http.StatusBadRequest, "missing or invalid node")
+		return
+	}
+	scores, err := h.eng.Query(seed)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if node >= len(scores) {
+		httpError(w, http.StatusUnprocessableEntity, "node out of range")
+		return
+	}
+	writeJSON(w, map[string]interface{}{"seed": seed, "node": node, "score": scores[node]})
+}
+
+// querySetRequest is the POST /queryset body.
+type querySetRequest struct {
+	Seeds []int `json:"seeds"`
+	K     int   `json:"k"`
+}
+
+func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
+	var req querySetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Seeds) == 0 {
+		httpError(w, http.StatusBadRequest, "seeds must be non-empty")
+		return
+	}
+	if req.K < 1 {
+		req.K = 10
+	}
+	scores, err := h.eng.QuerySet(req.Seeds)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	top := sparse.Vector(scores).TopK(req.K)
+	writeJSON(w, map[string]interface{}{"seeds": req.Seeds, "results": toJSON(top)})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	s, t := h.eng.Params()
+	writeJSON(w, map[string]interface{}{
+		"graph":       h.info,
+		"s":           s,
+		"t":           t,
+		"index_bytes": h.eng.IndexBytes(),
+		"error_bound": h.eng.ErrorBound(),
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tpa"
+)
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	g := tpa.RandomCommunityGraph(200, 1800, 4, 31)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng, Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: "test"})
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil && rec.Code == http.StatusOK {
+			t.Fatalf("%s: bad JSON: %v (%s)", path, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+func TestHealthz(t *testing.T) {
+	h := testHandler(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/topk?seed=5&k=7")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 7 {
+		t.Fatalf("got %d results", len(results))
+	}
+	first := results[0].(map[string]interface{})
+	if first["score"].(float64) <= 0 {
+		t.Error("top score not positive")
+	}
+	// Scores descend.
+	prev := first["score"].(float64)
+	for _, r := range results[1:] {
+		s := r.(map[string]interface{})["score"].(float64)
+		if s > prev {
+			t.Fatal("scores not descending")
+		}
+		prev = s
+	}
+}
+
+func TestTopKBadRequests(t *testing.T) {
+	h := testHandler(t)
+	for _, path := range []string{"/topk", "/topk?seed=abc", "/topk?seed=5&k=0", "/topk?seed=-2"} {
+		rec, _ := get(t, h, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", path, rec.Code)
+		}
+	}
+	// Seed out of range → 422.
+	rec, _ := get(t, h, "/topk?seed=100000")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range seed: code %d, want 422", rec.Code)
+	}
+}
+
+func TestScore(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/score?seed=5&node=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if body["score"].(float64) <= 0 {
+		t.Error("self score not positive")
+	}
+	rec, _ = get(t, h, "/score?seed=5&node=99999")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range node: code %d", rec.Code)
+	}
+	rec, _ = get(t, h, "/score?seed=5")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing node: code %d", rec.Code)
+	}
+}
+
+func TestQuerySet(t *testing.T) {
+	h := testHandler(t)
+	body, _ := json.Marshal(map[string]interface{}{"seeds": []int{1, 2, 3}, "k": 5})
+	req := httptest.NewRequest(http.MethodPost, "/queryset", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp["results"].([]interface{})) != 5 {
+		t.Fatalf("results: %v", resp["results"])
+	}
+}
+
+func TestQuerySetBadRequests(t *testing.T) {
+	h := testHandler(t)
+	cases := []string{`not json`, `{"seeds":[]}`, `{"seeds":[999999]}`}
+	wants := []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusUnprocessableEntity}
+	for i, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/queryset", bytes.NewReader([]byte(c)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != wants[i] {
+			t.Errorf("body %q: code %d, want %d", c, rec.Code, wants[i])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if body["index_bytes"].(float64) <= 0 {
+		t.Error("index_bytes missing")
+	}
+	if int(body["s"].(float64)) != 5 || int(body["t"].(float64)) != 10 {
+		t.Errorf("params %v/%v", body["s"], body["t"])
+	}
+	g := body["graph"].(map[string]interface{})
+	if g["name"].(string) != "test" {
+		t.Errorf("graph info %v", g)
+	}
+}

@@ -1,0 +1,180 @@
+package sparse
+
+import "fmt"
+
+// Dense is a row-major dense matrix. It backs the small dense blocks that
+// appear inside NB-LIN (per-partition inverses, the k×k core of the SVD) and
+// BEAR-APPROX / BePI (per-spoke inverses, the hub Schur complement).
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense returns a zero matrix with the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dense shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// AddAt adds x to the element at row i, column j.
+func (m *Dense) AddAt(i, j int, x float64) { m.Data[i*m.Cols+j] += x }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Row returns a slice aliasing row i of m.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes y = m·x. It panics on shape mismatch.
+func (m *Dense) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: mulvec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVecT computes y = mᵀ·x. It panics on shape mismatch.
+func (m *Dense) MulVecT(x Vector) Vector {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("sparse: mulvecT shape mismatch %dx%d ᵀ· %d", m.Rows, m.Cols, len(x)))
+	}
+	y := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, a := range row {
+			y[j] += a * xi
+		}
+	}
+	return y
+}
+
+// Mul computes the matrix product m·b. It panics on shape mismatch.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		crow := c.Row(i)
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bx := range brow {
+				crow[j] += a * bx
+			}
+		}
+	}
+	return c
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element by a in place and returns m.
+func (m *Dense) Scale(a float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// Add computes m += b in place and returns m. It panics on shape mismatch.
+func (m *Dense) Add(b *Dense) *Dense {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("sparse: add shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return m
+}
+
+// Sub computes m -= b in place and returns m. It panics on shape mismatch.
+func (m *Dense) Sub(b *Dense) *Dense {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("sparse: sub shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] -= b.Data[i]
+	}
+	return m
+}
+
+// NNZ returns the number of entries with |x| > tol.
+func (m *Dense) NNZ(tol float64) int {
+	var c int
+	for _, x := range m.Data {
+		if x > tol || x < -tol {
+			c++
+		}
+	}
+	return c
+}
+
+// Drop zeroes every entry with |x| <= tol in place and returns the number of
+// entries dropped. This is the "drop tolerance" operation BEAR-APPROX applies
+// to its precomputed matrices.
+func (m *Dense) Drop(tol float64) int {
+	var dropped int
+	for i, x := range m.Data {
+		if x != 0 && x <= tol && x >= -tol {
+			m.Data[i] = 0
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Bytes returns the accounted storage size of the matrix in bytes,
+// counting only entries that survive a zero test (a dropped matrix would be
+// stored sparsely: 8 bytes value + 4 bytes column index per nonzero,
+// plus row pointers). This is the quantity Fig 1(a) compares.
+func (m *Dense) Bytes() int64 {
+	nnz := int64(m.NNZ(0))
+	return nnz*12 + int64(m.Rows+1)*8
+}

@@ -1,0 +1,292 @@
+// Package sparse provides the small linear-algebra substrate that the rest
+// of the repository is built on: dense vectors with the norm/axpy operations
+// CPI needs, sparse score vectors for push-style methods, a dense matrix with
+// LU decomposition for the block-elimination methods (BEAR-APPROX, BePI,
+// NB-LIN), and a truncated SVD for NB-LIN's low-rank approximation.
+//
+// Everything is float64 and stdlib-only.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a dense float64 vector. It is the workhorse value for CPI
+// iterations and RWR score vectors.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Zero sets all entries of v to 0 in place.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets all entries of v to x in place.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// L1 returns the L1 norm (sum of absolute values) of v.
+func (v Vector) L1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// L2 returns the Euclidean norm of v.
+func (v Vector) L2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the plain sum of the entries of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of v and w. It panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Scale multiplies every entry of v by a in place and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// Axpy computes v += a*w in place and returns v. It panics if lengths differ.
+func (v Vector) Axpy(a float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: axpy length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i, x := range w {
+		v[i] += a * x
+	}
+	return v
+}
+
+// Add computes v += w in place and returns v.
+func (v Vector) Add(w Vector) Vector { return v.Axpy(1, w) }
+
+// Sub computes v -= w in place and returns v.
+func (v Vector) Sub(w Vector) Vector { return v.Axpy(-1, w) }
+
+// L1Dist returns the L1 norm of v-w without allocating. It panics if lengths
+// differ.
+func (v Vector) L1Dist(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: l1dist length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += math.Abs(x - w[i])
+	}
+	return s
+}
+
+// Normalize1 scales v in place so that its L1 norm is 1 and returns v.
+// A zero vector is left untouched.
+func (v Vector) Normalize1() Vector {
+	n := v.L1()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Max returns the maximum entry and its index. It panics on an empty vector.
+func (v Vector) Max() (int, float64) {
+	if len(v) == 0 {
+		panic("sparse: Max of empty vector")
+	}
+	bi, bv := 0, v[0]
+	for i, x := range v {
+		if x > bv {
+			bi, bv = i, x
+		}
+	}
+	return bi, bv
+}
+
+// Entry pairs a vector index with its score. It is the element type of
+// top-k results.
+type Entry struct {
+	Index int
+	Score float64
+}
+
+// TopK returns the k largest entries of v in descending score order.
+// Ties are broken by ascending index so results are deterministic.
+// If k exceeds len(v), all entries are returned.
+//
+// Selection runs in O(n log k) with a bounded min-heap: for the k ≪ n
+// regime of top-k RWR queries this avoids sorting the whole score vector.
+func (v Vector) TopK(k int) []Entry {
+	if k > len(v) {
+		k = len(v)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// weaker reports whether a ranks below b in the final ordering
+	// (score desc, index asc) — i.e. a is the one to evict first.
+	weaker := func(a, b Entry) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Index > b.Index
+	}
+	// Min-heap (by `weaker`) of the k best entries seen so far; the root
+	// is the current weakest and is evicted when something stronger shows.
+	heap := make([]Entry, 0, k)
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !weaker(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && weaker(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && weaker(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	for i, x := range v {
+		e := Entry{Index: i, Score: x}
+		if len(heap) < k {
+			heap = append(heap, e)
+			siftUp(len(heap) - 1)
+			continue
+		}
+		if weaker(e, heap[0]) {
+			continue
+		}
+		heap[0] = e
+		siftDown()
+	}
+	sort.Slice(heap, func(a, b int) bool { return weaker(heap[b], heap[a]) })
+	return heap
+}
+
+// SparseVector is a map-backed sparse accumulator used by push-style methods
+// (forward push, backward push) where only a small fraction of entries are
+// nonzero.
+type SparseVector struct {
+	n int
+	m map[int]float64
+}
+
+// NewSparseVector returns an empty sparse vector of logical length n.
+func NewSparseVector(n int) *SparseVector {
+	return &SparseVector{n: n, m: make(map[int]float64)}
+}
+
+// Len returns the logical length of the vector.
+func (s *SparseVector) Len() int { return s.n }
+
+// NNZ returns the number of explicitly stored entries.
+func (s *SparseVector) NNZ() int { return len(s.m) }
+
+// Get returns the value at index i (0 if unset).
+func (s *SparseVector) Get(i int) float64 { return s.m[i] }
+
+// Set stores value x at index i. Setting 0 removes the entry.
+func (s *SparseVector) Set(i int, x float64) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("sparse: index %d out of range [0,%d)", i, s.n))
+	}
+	if x == 0 {
+		delete(s.m, i)
+		return
+	}
+	s.m[i] = x
+}
+
+// Add adds x to the value at index i and returns the new value.
+func (s *SparseVector) Add(i int, x float64) float64 {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("sparse: index %d out of range [0,%d)", i, s.n))
+	}
+	nv := s.m[i] + x
+	if nv == 0 {
+		delete(s.m, i)
+	} else {
+		s.m[i] = nv
+	}
+	return nv
+}
+
+// L1 returns the L1 norm of the sparse vector.
+func (s *SparseVector) L1() float64 {
+	var t float64
+	for _, x := range s.m {
+		t += math.Abs(x)
+	}
+	return t
+}
+
+// Range calls f for every nonzero entry. Iteration order is unspecified.
+func (s *SparseVector) Range(f func(i int, x float64)) {
+	for i, x := range s.m {
+		f(i, x)
+	}
+}
+
+// Dense materializes the sparse vector as a dense Vector.
+func (s *SparseVector) Dense() Vector {
+	v := NewVector(s.n)
+	for i, x := range s.m {
+		v[i] = x
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+// Package stream implements the paper's stated future work (§VI): a
+// disk-based RWR engine for graphs that do not fit in memory. An EdgeFile
+// is a binary, sequentially-readable edge list with a compact in-memory
+// footprint of O(n) (the out-degree array plus two score vectors); every
+// propagation step is one sequential scan of the file.
+//
+// EdgeFile implements rwr.Operator, so the whole in-memory stack —
+// CPI, TPA preprocessing, TPA queries, exact RWR — runs unchanged on a
+// disk-resident graph:
+//
+//	ef, _ := stream.Create("graph.bin", g)   // or stream.Open(path)
+//	tp, _ := core.Preprocess(ef, cfg, params)
+//	scores, _ := tp.Query(seed)
+//
+// Dangling nodes use self-loop semantics, matching graph.DanglingSelfLoop.
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"tpa/internal/graph"
+	"tpa/internal/sparse"
+)
+
+// fileMagic identifies a stream edge file ("TPAS" + version 1).
+const fileMagic = uint32(0x54504153)
+
+// headerSize is the byte length of the fixed file header.
+const headerSize = 4 + 4 + 8 + 8
+
+// EdgeFile is a disk-resident graph opened for streaming propagation. It
+// keeps only the out-degree array in memory. Not safe for concurrent use
+// (one shared file cursor); open one EdgeFile per goroutine.
+type EdgeFile struct {
+	path string
+	f    *os.File
+	n    int
+	m    int64
+	deg  []int32
+	// inv[u] = 1/deg[u] (0 for dangling); multiplying by the precomputed
+	// reciprocal keeps results bit-identical with graph.Walk.
+	inv []float64
+	// buf is the reusable read buffer for edge chunks.
+	buf []byte
+}
+
+// Write serializes g into the stream format at w: a header, the out-degree
+// array, then all edges as (src,dst) int32 pairs grouped by source.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []interface{}{fileMagic, uint32(1), int64(g.NumNodes()), g.NumEdges()}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("stream: writing header: %w", err)
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if err := binary.Write(bw, binary.LittleEndian, int32(g.OutDegree(u))); err != nil {
+			return fmt.Errorf("stream: writing degrees: %w", err)
+		}
+	}
+	var pair [8]byte
+	for u := 0; u < g.NumNodes(); u++ {
+		binary.LittleEndian.PutUint32(pair[0:], uint32(u))
+		for _, v := range g.OutNeighbors(u) {
+			binary.LittleEndian.PutUint32(pair[4:], uint32(v))
+			if _, err := bw.Write(pair[:]); err != nil {
+				return fmt.Errorf("stream: writing edges: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Create writes g to path in the stream format and opens it.
+func Create(path string, g *graph.Graph) (*EdgeFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return Open(path)
+}
+
+// Open opens an existing stream file and loads its degree array.
+func Open(path string) (*EdgeFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var magic, version uint32
+	var n, m int64
+	for _, v := range []interface{}{&magic, &version, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("stream: reading header: %w", err)
+		}
+	}
+	if magic != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("stream: bad magic %#x", magic)
+	}
+	if version != 1 {
+		f.Close()
+		return nil, fmt.Errorf("stream: unsupported version %d", version)
+	}
+	if n < 0 || m < 0 || n > 1<<31 {
+		f.Close()
+		return nil, fmt.Errorf("stream: implausible sizes n=%d m=%d", n, m)
+	}
+	ef := &EdgeFile{path: path, f: f, n: int(n), m: m,
+		deg: make([]int32, n), inv: make([]float64, n), buf: make([]byte, 1<<20)}
+	degBytes := make([]byte, 4*n)
+	if _, err := io.ReadFull(br, degBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stream: reading degrees: %w", err)
+	}
+	var total int64
+	for i := int64(0); i < n; i++ {
+		d := int32(binary.LittleEndian.Uint32(degBytes[4*i:]))
+		if d < 0 {
+			f.Close()
+			return nil, fmt.Errorf("stream: negative degree at node %d", i)
+		}
+		ef.deg[i] = d
+		if d > 0 {
+			ef.inv[i] = 1 / float64(d)
+		}
+		total += int64(d)
+	}
+	if total != m {
+		f.Close()
+		return nil, fmt.Errorf("stream: degree sum %d != edge count %d", total, m)
+	}
+	return ef, nil
+}
+
+// Close releases the underlying file.
+func (e *EdgeFile) Close() error { return e.f.Close() }
+
+// Path returns the backing file path.
+func (e *EdgeFile) Path() string { return e.path }
+
+// N returns the number of nodes.
+func (e *EdgeFile) N() int { return e.n }
+
+// NumEdges returns the number of edges.
+func (e *EdgeFile) NumEdges() int64 { return e.m }
+
+// OutDegree returns the out-degree of node u.
+func (e *EdgeFile) OutDegree(u int) int { return int(e.deg[u]) }
+
+// MulT computes y = Ãᵀ·x with one sequential scan of the edge file,
+// implementing rwr.Operator. Dangling nodes self-loop. It panics on I/O
+// errors (the operator interface has no error channel; a truncated file is
+// a programming/environment fault, like an out-of-bounds index).
+func (e *EdgeFile) MulT(x, y sparse.Vector) sparse.Vector {
+	if len(x) != e.n || len(y) != e.n {
+		panic(fmt.Sprintf("stream: MulT length mismatch %d/%d vs %d", len(x), len(y), e.n))
+	}
+	y.Zero()
+	// Precompute per-source shares lazily: share = x[u]/deg[u].
+	if _, err := e.f.Seek(headerSize+int64(4*e.n), io.SeekStart); err != nil {
+		panic(fmt.Sprintf("stream: seek: %v", err))
+	}
+	// Dangling self-loops first (they have no edges in the file).
+	for u := 0; u < e.n; u++ {
+		if e.deg[u] == 0 && x[u] != 0 {
+			y[u] += x[u]
+		}
+	}
+	br := bufio.NewReaderSize(e.f, 1<<20)
+	remaining := e.m * 8
+	for remaining > 0 {
+		chunk := int64(len(e.buf))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if _, err := io.ReadFull(br, e.buf[:chunk]); err != nil {
+			panic(fmt.Sprintf("stream: reading edges: %v", err))
+		}
+		for off := int64(0); off < chunk; off += 8 {
+			u := int32(binary.LittleEndian.Uint32(e.buf[off:]))
+			v := int32(binary.LittleEndian.Uint32(e.buf[off+4:]))
+			xu := x[u]
+			if xu == 0 {
+				continue
+			}
+			y[v] += xu * e.inv[u]
+		}
+		remaining -= chunk
+	}
+	return y
+}
+
+// MemoryBytes returns the resident footprint of the operator: the degree
+// array plus the read buffer (score vectors are the caller's).
+func (e *EdgeFile) MemoryBytes() int64 {
+	return int64(len(e.deg))*4 + int64(len(e.inv))*8 + int64(len(e.buf))
+}

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpa/internal/core"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+func tempFile(tb testing.TB, g *graph.Graph) *EdgeFile {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "g.bin")
+	ef, err := Create(path, g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { ef.Close() })
+	return ef
+}
+
+func TestOpenMetadata(t *testing.T) {
+	g := gen.CommunityRMAT(200, 1800, 4, 0.2, 901)
+	ef := tempFile(t, g)
+	if ef.N() != g.NumNodes() || ef.NumEdges() != g.NumEdges() {
+		t.Fatalf("metadata %d/%d vs %d/%d", ef.N(), ef.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if ef.OutDegree(u) != g.OutDegree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+	}
+	if ef.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+}
+
+func TestMulTMatchesInMemory(t *testing.T) {
+	g := gen.CommunityRMAT(300, 2500, 5, 0.2, 902)
+	ef := tempFile(t, g)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		x := sparse.NewVector(g.NumNodes())
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want := w.MulT(x, sparse.NewVector(g.NumNodes()))
+		got := ef.MulT(x, sparse.NewVector(g.NumNodes()))
+		if want.L1Dist(got) > 1e-12 {
+			t.Fatalf("trial %d: streaming MulT deviates by %g", trial, want.L1Dist(got))
+		}
+	}
+}
+
+func TestMulTDangling(t *testing.T) {
+	// Node 0 dangling → self-loop semantics.
+	g := graph.FromEdges(3, [][2]int{{1, 0}, {2, 1}})
+	ef := tempFile(t, g)
+	x := sparse.Vector{0.5, 0.25, 0.25}
+	y := ef.MulT(x, sparse.NewVector(3))
+	if y.Sum() != 1 {
+		t.Fatalf("mass lost: %v", y)
+	}
+	if y[0] < 0.5 {
+		t.Fatalf("self-loop mass missing: %v", y)
+	}
+}
+
+// The headline property: TPA runs unchanged on the disk-resident operator
+// and produces the same results (up to FP accumulation-order noise from
+// dangling self-loops being applied before, not during, the edge scan).
+func TestTPAOnDiskMatchesInMemory(t *testing.T) {
+	g := gen.CommunityRMAT(250, 2200, 5, 0.2, 903)
+	ef := tempFile(t, g)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	params := core.DefaultParams()
+	inMem, err := core.Preprocess(w, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := core.Preprocess(ef, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 123, 249} {
+		a, err := inMem.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := onDisk.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.L1Dist(b); d > 1e-12 {
+			t.Errorf("seed %d: disk result differs by %g", seed, d)
+		}
+	}
+}
+
+func TestExactRWROnDisk(t *testing.T) {
+	g := gen.CommunityRMAT(150, 1200, 4, 0.2, 904)
+	ef := tempFile(t, g)
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	cfg := rwr.DefaultConfig()
+	want, err := core.ExactRWR(w, 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ExactRWR(ef, 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.L1Dist(got) > 1e-10 {
+		t.Errorf("disk exact RWR deviates by %g", want.L1Dist(got))
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage bytes here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 905)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	ef, err := Create(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the degree table short: Open must fail cleanly.
+	trunc := filepath.Join(dir, "trunc.bin")
+	if err := os.WriteFile(trunc, data[:headerSize+20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestMulTPanicsOnWrongLength(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 906)
+	ef := tempFile(t, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ef.MulT(sparse.NewVector(5), sparse.NewVector(20))
+}

@@ -1,0 +1,241 @@
+// Package tpa is the public API of this repository: a Go implementation of
+// TPA (Two Phase Approximation), the fast, scalable and accurate
+// approximate random-walk-with-restart method of Yoon, Jung and Kang
+// (ICDE 2018), together with the substrates it is built on.
+//
+// The typical flow is:
+//
+//	g, _ := tpa.LoadGraph("edges.tsv")        // or tpa.NewGraphBuilder()
+//	eng, _ := tpa.New(g, tpa.Defaults())      // preprocessing phase (once)
+//	scores, _ := eng.Query(seed)              // online phase (per seed)
+//	top, _ := eng.TopK(seed, 100)
+//
+// Preprocessing runs a single PageRank-style cumulative power iteration and
+// stores one float64 per node; queries run only S propagation steps from
+// the seed, so they are orders of magnitude cheaper than exact solvers.
+// The approximation obeys ‖r_exact − r_TPA‖₁ ≤ 2(1-c)^S (Theorem 2 of the
+// paper) and is far more accurate in practice on graphs with community
+// structure.
+//
+// For validation, Exact computes the true RWR vector by cumulative power
+// iteration run to convergence.
+package tpa
+
+import (
+	"fmt"
+	"io"
+
+	"tpa/internal/core"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+	"tpa/internal/stream"
+)
+
+// Graph is a directed graph in compressed sparse row form.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// Entry is a node/score pair returned by TopK.
+type Entry = sparse.Entry
+
+// NewGraphBuilder returns a builder that infers the node count from ids.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// LoadGraph reads a whitespace-separated edge list from path (".gz"
+// supported).
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// ReadGraph reads an edge list from r.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// SaveGraph writes g to path as an edge list (".gz" supported).
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// RandomCommunityGraph generates a synthetic graph with planted community
+// structure and skewed degrees — the structure TPA is designed for. It is
+// handy for experiments when no real dataset is at hand.
+func RandomCommunityGraph(nodes int, edges int64, communities int, seed int64) *Graph {
+	return gen.CommunityRMAT(nodes, edges, communities, 0.2, seed)
+}
+
+// RandomSBMGraph generates a stochastic-block-model graph with k equal
+// communities and the given intra-community edge probability pin
+// (e.g. 0.95 for very tight communities). avgOutDeg sets the expected
+// out-degree.
+func RandomSBMGraph(nodes, communities int, avgOutDeg, pin float64, seed int64) *Graph {
+	return gen.SBM(gen.SBMConfig{Nodes: nodes, Communities: communities,
+		AvgOutDeg: avgOutDeg, PIn: pin, Seed: seed, Uniform: true})
+}
+
+// Options configure an Engine.
+type Options struct {
+	// C is the restart probability (default 0.15).
+	C float64
+	// Eps is the convergence tolerance of the preprocessing iteration
+	// (default 1e-9).
+	Eps float64
+	// S is the first iteration of the neighbor part: queries compute
+	// exactly S propagation steps. Larger S = slower and more accurate
+	// (default 5).
+	S int
+	// T is the first iteration of the stranger part, estimated by
+	// PageRank (default 10). Must exceed S.
+	T int
+}
+
+// Defaults returns the paper's standard configuration: c = 0.15, ε = 1e-9,
+// S = 5, T = 10.
+func Defaults() Options { return Options{C: 0.15, Eps: 1e-9, S: 5, T: 10} }
+
+func (o Options) split() (rwr.Config, core.Params) {
+	return rwr.Config{C: o.C, Eps: o.Eps}, core.Params{S: o.S, T: o.T}
+}
+
+// Engine is a preprocessed TPA instance bound to one graph. It is safe for
+// concurrent Query/TopK calls.
+type Engine struct {
+	tpa *core.TPA
+	// walk retains the in-memory operator when the engine was built from a
+	// Graph (nil for streaming engines).
+	walk *graph.Walk
+}
+
+// New runs TPA's preprocessing phase on g and returns a queryable Engine.
+func New(g *Graph, o Options) (*Engine, error) {
+	cfg, params := o.split()
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	tp, err := core.Preprocess(w, cfg, params)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w}, nil
+}
+
+// AutoTune selects S and T for the graph (sampling a few exact queries)
+// and returns the tuned engine. maxBound caps the Theorem-2 error bound
+// 2(1-c)^S; pass 0 for the default 0.9.
+func AutoTune(g *Graph, o Options, maxBound float64, sampleSeeds []int) (*Engine, error) {
+	cfg, _ := o.split()
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	params, err := core.SelectParams(w, cfg, maxBound, sampleSeeds)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: tuning: %w", err)
+	}
+	tp, err := core.Preprocess(w, cfg, params)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w}, nil
+}
+
+// Query returns the approximate RWR score vector for the seed node
+// (length = number of nodes, sums to ≈1).
+func (e *Engine) Query(seed int) ([]float64, error) {
+	r, err := e.tpa.Query(seed)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// QuerySet returns approximate personalized PageRank for a set of seed
+// nodes (the walk restarts uniformly over the set) — e.g. a user's whole
+// reading history rather than a single item.
+func (e *Engine) QuerySet(seeds []int) ([]float64, error) {
+	r, err := e.tpa.QuerySet(seeds)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// TopK returns the k nodes most relevant to the seed, highest score first.
+func (e *Engine) TopK(seed, k int) ([]Entry, error) { return e.tpa.TopK(seed, k) }
+
+// Params returns the S and T split points in effect.
+func (e *Engine) Params() (s, t int) {
+	p := e.tpa.Params()
+	return p.S, p.T
+}
+
+// ErrorBound returns the a-priori L1 error guarantee 2(1-c)^S of Theorem 2.
+func (e *Engine) ErrorBound() float64 { return e.tpa.ErrorBound() }
+
+// IndexBytes returns the size of the preprocessed data (8 bytes per node).
+func (e *Engine) IndexBytes() int64 { return e.tpa.IndexBytes() }
+
+// SaveIndex serializes the preprocessed state so it can be shipped to query
+// servers and re-attached with LoadIndex.
+func (e *Engine) SaveIndex(w io.Writer) error { return e.tpa.WriteIndex(w) }
+
+// LoadIndex re-attaches a serialized index to its graph.
+func LoadIndex(r io.Reader, g *Graph) (*Engine, error) {
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	tp, err := core.ReadIndex(r, w)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: loading index: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w}, nil
+}
+
+// CreateEdgeFile converts g to the binary streaming format at path, for
+// disk-based operation (the paper's §VI future work): propagation steps
+// become sequential file scans and resident memory stays O(n).
+func CreateEdgeFile(path string, g *Graph) error {
+	ef, err := stream.Create(path, g)
+	if err != nil {
+		return err
+	}
+	return ef.Close()
+}
+
+// NewFromEdgeFile runs TPA's preprocessing phase directly against a
+// disk-resident edge file produced by CreateEdgeFile. The returned engine
+// streams the file on every query, so it handles graphs larger than
+// memory; it must not be queried concurrently (one shared file cursor).
+func NewFromEdgeFile(path string, o Options) (*Engine, error) {
+	cfg, params := o.split()
+	ef, err := stream.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := core.Preprocess(ef, cfg, params)
+	if err != nil {
+		ef.Close()
+		return nil, fmt.Errorf("tpa: preprocessing (streaming): %w", err)
+	}
+	return &Engine{tpa: tp}, nil
+}
+
+// Exact computes the exact RWR vector for the seed by cumulative power
+// iteration run to convergence — the ground truth TPA approximates. It
+// needs no preprocessing but costs log_{1-c}(ε/c) ≈ 130 propagation steps
+// per query at the defaults.
+func Exact(g *Graph, seed int, o Options) ([]float64, error) {
+	cfg, _ := o.split()
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	r, err := core.ExactRWR(w, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// PageRank computes the global PageRank vector of g (RWR with every node
+// as seed).
+func PageRank(g *Graph, o Options) ([]float64, error) {
+	cfg, _ := o.split()
+	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	r, err := core.PageRankCPI(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// TopKOf ranks an arbitrary score vector, highest first.
+func TopKOf(scores []float64, k int) []Entry { return sparse.Vector(scores).TopK(k) }
