@@ -1,22 +1,33 @@
 // Command tpad serves TPA queries over HTTP:
 //
 //	tpad -graph edges.tsv [-index prebuilt.idx] [-addr :8080] [-s 5 -t 10]
+//	     [-workers 8] [-cache 4096] [-max-inflight 256] [-max-batch 4096]
 //
 // It loads (or computes) the TPA index for the graph, then serves:
 //
 //	GET  /topk?seed=42&k=10
 //	GET  /score?seed=42&node=7
+//	POST /batch     {"seeds":[1,2,3],"k":10}
 //	POST /queryset  {"seeds":[1,2,3],"k":10}
 //	GET  /stats
 //	GET  /healthz
+//
+// -workers shards the preprocessing matvec and sizes the /batch worker pool;
+// -cache bounds the LRU top-k result cache; -max-inflight sheds load with
+// 503 beyond that many concurrent queries. SIGINT/SIGTERM drain in-flight
+// requests before exiting. See docs/API.md for the endpoint reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tpa"
 	"tpa/internal/server"
@@ -26,12 +37,17 @@ func main() {
 	graphPath := flag.String("graph", "", "edge-list file (required)")
 	indexPath := flag.String("index", "", "optional prebuilt index (from `tpa preprocess`)")
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "goroutines for preprocessing and /batch fan-out (0 = all CPUs)")
+	cacheSize := flag.Int("cache", 4096, "top-k LRU cache entries (0 disables caching)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent query requests before shedding 503s (0 = unlimited)")
+	maxBatch := flag.Int("max-batch", 4096, "max seeds per /batch or /queryset request (0 = unlimited)")
 	o := tpa.Defaults()
 	flag.Float64Var(&o.C, "c", o.C, "restart probability")
 	flag.Float64Var(&o.Eps, "eps", o.Eps, "convergence tolerance")
 	flag.IntVar(&o.S, "s", o.S, "neighbor-part start iteration S")
 	flag.IntVar(&o.T, "t", o.T, "stranger-part start iteration T")
 	flag.Parse()
+	o.Workers = *workers
 
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "tpad: -graph is required")
@@ -61,6 +77,31 @@ func main() {
 	s, t := eng.Params()
 	log.Printf("tpad: serving %d nodes / %d edges (S=%d T=%d, index %d bytes) on %s",
 		g.NumNodes(), g.NumEdges(), s, t, eng.IndexBytes(), *addr)
-	h := server.New(eng, server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: *graphPath})
-	log.Fatal(http.ListenAndServe(*addr, h))
+	h := server.NewWith(eng,
+		server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: *graphPath},
+		server.Options{
+			Workers:     *workers,
+			CacheSize:   *cacheSize,
+			MaxInFlight: *maxInflight,
+			MaxBatch:    *maxBatch,
+		})
+
+	srv := &http.Server{Addr: *addr, Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("tpad: serving: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("tpad: signal received, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("tpad: shutdown: %v", err)
+	}
+	log.Printf("tpad: bye")
 }

@@ -44,6 +44,36 @@ func ExampleEngine_TopK() {
 	// scores descend: true
 }
 
+// ExampleEngine_QueryBatch fans a batch of seed queries out over a worker
+// pool; results are identical to serial Query calls, position by position.
+func ExampleEngine_QueryBatch() {
+	g := tpa.RandomCommunityGraph(1000, 12000, 8, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	seeds := []int{11, 42, 11, 900}
+	batch, err := eng.QueryBatch(seeds, 4) // 4 workers
+	if err != nil {
+		panic(err)
+	}
+	serial, err := eng.Query(seeds[1])
+	if err != nil {
+		panic(err)
+	}
+	var maxDiff float64
+	for i := range serial {
+		if d := math.Abs(batch[1][i] - serial[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("%d result vectors of %d scores each\n", len(batch), len(batch[0]))
+	fmt.Printf("batch matches serial Query: %v\n", maxDiff == 0)
+	// Output:
+	// 4 result vectors of 1000 scores each
+	// batch matches serial Query: true
+}
+
 // ExampleExact validates the approximation against the exact solver.
 func ExampleExact() {
 	g := tpa.RandomCommunityGraph(1000, 12000, 8, 7)

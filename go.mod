@@ -1,0 +1,3 @@
+module tpa
+
+go 1.22

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"tpa/internal/sparse"
+)
+
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	tp, _ := preprocessed(t, 50, DefaultParams())
+	seeds := []int{0, 7, 42, 7, 199, 250}
+	for _, parallelism := range []int{1, 3, 8} {
+		batch, err := tp.QueryBatch(seeds, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(seeds) {
+			t.Fatalf("parallelism %d: %d results for %d seeds", parallelism, len(batch), len(seeds))
+		}
+		for i, seed := range seeds {
+			want, err := tp.Query(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := want.L1Dist(batch[i]); d != 0 {
+				t.Errorf("parallelism %d seed %d: batch deviates from serial by %g", parallelism, seed, d)
+			}
+		}
+	}
+}
+
+func TestQueryBatchErrors(t *testing.T) {
+	tp, _ := preprocessed(t, 51, DefaultParams())
+	if _, err := tp.QueryBatch([]int{1, 2, 9999}, 2); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := tp.QueryBatch([]int{-1}, 2); err == nil {
+		t.Error("negative seed accepted")
+	}
+	out, err := tp.QueryBatch(nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(out))
+	}
+}
+
+func TestTopKBatchMatchesTopK(t *testing.T) {
+	tp, _ := preprocessed(t, 52, DefaultParams())
+	seeds := []int{3, 77, 3, 210}
+	const k = 15
+	batch, err := tp.TopKBatch(seeds, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		want, err := tp.TopK(seed, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("seed %d: %d entries, want %d", seed, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Errorf("seed %d entry %d: %+v != %+v", seed, j, batch[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestQueryIntoMatchesQuery(t *testing.T) {
+	tp, _ := preprocessed(t, 53, DefaultParams())
+	want, err := tp.Query(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := sparse.NewVector(tp.Walk().N())
+	got, err := tp.QueryInto(17, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Error("QueryInto did not return dst")
+	}
+	if d := want.L1Dist(got); d != 0 {
+		t.Errorf("QueryInto deviates by %g", d)
+	}
+	if _, err := tp.QueryInto(17, sparse.NewVector(3)); err == nil {
+		t.Error("short dst accepted")
+	}
+	if _, err := tp.QueryInto(-1, dst); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+// The pooled-scratch query path must not allocate per query beyond the
+// result it writes into the caller's vector.
+func TestQueryIntoAllocationFree(t *testing.T) {
+	tp, _ := preprocessed(t, 54, DefaultParams())
+	dst := sparse.NewVector(tp.Walk().N())
+	// Warm the scratch pool.
+	if _, err := tp.QueryInto(5, dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := tp.QueryInto(5, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// GC can empty the sync.Pool mid-run, forcing an occasional re-allocation
+	// of a scratch; allow a small average but fail on per-call allocation.
+	if allocs > 0.5 {
+		t.Errorf("QueryInto allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+func TestPreprocessParallelMatchesSerial(t *testing.T) {
+	w := testWalk(t, 55)
+	serial, err := Preprocess(w, cfg(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := PreprocessParallel(w, cfg(), DefaultParams(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sharded gather order differs from the serial scatter order only in
+		// floating-point rounding.
+		if d := serial.StrangerVector().L1Dist(par.StrangerVector()); d > 1e-10 {
+			t.Errorf("workers %d: stranger vector deviates by %g", workers, d)
+		}
+		a, err := serial.Query(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Query(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.L1Dist(b); d > 1e-10 {
+			t.Errorf("workers %d: query deviates by %g", workers, d)
+		}
+	}
+}

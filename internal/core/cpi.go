@@ -3,6 +3,11 @@
 // it (Algorithms 2 and 3), together with the theoretical error bounds of
 // Lemmas 1-3 and Theorem 2 and helpers for choosing the S and T split
 // points.
+//
+// It also provides the concurrent execution layer on top of the
+// algorithms: PreprocessParallel shards the preprocessing matvec over row
+// blocks, and QueryBatch/TopKBatch fan independent seed queries out over a
+// worker pool with sync.Pool-backed scratch vectors (see batch.go).
 package core
 
 import (
@@ -49,35 +54,42 @@ func CPI(w rwr.Operator, seeds []int, cfg rwr.Config, startIter, termIter int) (
 	if err != nil {
 		return nil, err
 	}
-	x := q.Clone().Scale(cfg.C) // x(0)
 	r := sparse.NewVector(n)
-	res := &CPIResult{Scores: r}
+	iters, converged := cpiInto(w, cfg, startIter, termIter, q, sparse.NewVector(n), r)
+	return &CPIResult{Scores: r, Iters: iters, Converged: converged}, nil
+}
+
+// cpiInto is the CPI loop with caller-provided storage, shared by CPI and
+// the pooled-scratch query path (see batch.go): q must hold the seed
+// distribution and is consumed as the iterate vector, buf is propagation
+// scratch, and r receives the accumulated scores (it is zeroed here). All
+// three must have length w.N(). It performs no allocations itself.
+func cpiInto(w rwr.Operator, cfg rwr.Config, startIter, termIter int, q, buf, r sparse.Vector) (iters int, converged bool) {
+	x := q.Scale(cfg.C) // x(0)
+	r.Zero()
 	if startIter == 0 {
 		r.Add(x)
 	}
 	limit := termIter
 	if limit < 0 {
-		cap := cfg.IterBound() + 8
+		limit = cfg.IterBound() + 8
 		if cfg.MaxIter > 0 {
-			cap = cfg.MaxIter
+			limit = cfg.MaxIter
 		}
-		limit = cap
 	}
-	buf := sparse.NewVector(n)
 	for i := 1; i <= limit; i++ {
 		w.MulT(x, buf)
 		buf.Scale(1 - cfg.C)
 		x, buf = buf, x
-		res.Iters = i
+		iters = i
 		if i >= startIter {
 			r.Add(x)
 		}
 		if x.L1() < cfg.Eps {
-			res.Converged = true
-			break
+			return iters, true
 		}
 	}
-	return res, nil
+	return iters, false
 }
 
 // ExactRWR computes the full RWR vector by CPI run to convergence. It is

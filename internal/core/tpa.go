@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tpa/internal/rwr"
 	"tpa/internal/sparse"
@@ -46,6 +47,9 @@ type TPA struct {
 	// preIters records how many CPI iterations preprocessing ran
 	// (for reporting).
 	preIters int
+	// scratch pools per-query working vectors (see batch.go) so steady-state
+	// queries allocate nothing beyond their result.
+	scratch sync.Pool
 }
 
 // Preprocess runs TPA's preprocessing phase (Algorithm 2): a single
@@ -53,13 +57,23 @@ type TPA struct {
 // only per-graph state TPA stores — an O(n) vector, which is why Fig 1(a)
 // shows TPA's index orders of magnitude below the competitors'.
 func Preprocess(w rwr.Operator, cfg rwr.Config, params Params) (*TPA, error) {
+	return PreprocessParallel(w, cfg, params, 1)
+}
+
+// PreprocessParallel is Preprocess with the CPI sparse-matvec sharded over
+// row blocks across workers goroutines (0 means GOMAXPROCS) when the
+// operator supports it (rwr.BlockOperator); otherwise it falls back to the
+// serial matvec. Only preprocessing fans out: the returned TPA is bound to w
+// itself, so the online phase is unaffected and per-query parallelism stays
+// the caller's choice (see QueryBatch).
+func PreprocessParallel(w rwr.Operator, cfg rwr.Config, params Params, workers int) (*TPA, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := CPI(w, allSeeds(w.N()), cfg, params.T, -1)
+	res, err := CPI(rwr.Sharded(w, workers), allSeeds(w.N()), cfg, params.T, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -96,13 +110,14 @@ func (t *TPA) IndexBytes() int64 { return int64(len(t.stranger)) * 8 }
 // Query runs TPA's online phase (Algorithm 3) for the given seed node:
 // compute r_family with S-1 propagation steps of CPI, scale it by
 // ‖r_neighbor‖₁/‖r_family‖₁ to estimate the neighbor part, and add the
-// precomputed stranger vector.
+// precomputed stranger vector. All working vectors come from the scratch
+// pool, so the only allocation is the returned result.
 func (t *TPA) Query(seed int) (sparse.Vector, error) {
-	parts, err := t.QueryParts(seed)
-	if err != nil {
+	dst := sparse.NewVector(t.walk.N())
+	if _, err := t.QueryInto(seed, dst); err != nil {
 		return nil, err
 	}
-	return parts.Combine(), nil
+	return dst, nil
 }
 
 // QuerySet computes approximate personalized PageRank for a *set* of seed
@@ -110,11 +125,17 @@ func (t *TPA) Query(seed int) (sparse.Vector, error) {
 // §II-C notes CPI supports. The family part starts from the uniform seed
 // vector; the stranger part is unchanged (it never depended on the seed).
 func (t *TPA) QuerySet(seeds []int) (sparse.Vector, error) {
-	parts, err := t.queryParts(seeds)
-	if err != nil {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: empty seed set")
+	}
+	if err := t.checkSeeds(seeds); err != nil {
 		return nil, err
 	}
-	return parts.Combine(), nil
+	dst := sparse.NewVector(t.walk.N())
+	sc := t.getScratch()
+	t.queryInto(seeds, dst, sc)
+	t.putScratch(sc)
+	return dst, nil
 }
 
 // QueryParts is Query exposing the three components separately; the

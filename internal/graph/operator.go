@@ -17,6 +17,9 @@ type Walk struct {
 	policy DanglingPolicy
 	// invdeg[u] = 1/outdeg(u), 0 for dangling nodes (policy handles them).
 	invdeg []float64
+	// dangling lists the nodes with no out-edges in ascending order, so
+	// block-parallel application can compute the dangling mass cheaply.
+	dangling []int32
 }
 
 // NewWalk wraps g with the given dangling policy.
@@ -25,6 +28,8 @@ func NewWalk(g *Graph, policy DanglingPolicy) *Walk {
 	for u := 0; u < g.NumNodes(); u++ {
 		if d := g.OutDegree(u); d > 0 {
 			w.invdeg[u] = 1 / float64(d)
+		} else {
+			w.dangling = append(w.dangling, int32(u))
 		}
 	}
 	return w

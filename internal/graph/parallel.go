@@ -7,85 +7,122 @@ import (
 	"tpa/internal/sparse"
 )
 
-// ParallelWalk is a Walk whose MulT fans the propagation out over worker
-// goroutines. Each worker owns a contiguous *destination* range of the
-// in-adjacency (CSC), so no two workers ever write the same output entry
-// and no locking is needed on the hot path. Summation order within each
-// destination is identical to the serial operator's per-row order, so
-// results are deterministic run-to-run (though they may differ from the
-// serial Walk in the last bits for dangling-policy mass, which is applied
-// the same way here).
-//
-// This is the "scalable" leg of the paper's title at the implementation
-// level: CPI and TPA accept any rwr.Operator, so swapping NewParallelWalk
-// for NewWalk parallelizes preprocessing and queries without other change.
-type ParallelWalk struct {
-	g       *Graph
-	policy  DanglingPolicy
-	invdeg  []float64
-	workers int
-	// bounds[i] is the first destination node of worker i's range;
-	// bounds[workers] = n. Ranges are balanced by in-edge count.
-	bounds []int
+// MulTPrep is the serial prologue of one blockwise application of Ãᵀ to x:
+// it reduces the per-application state every block needs — here the uniform
+// dangling term under DanglingUniform (0 for the other policies). Callers
+// run it once per matvec and hand the result to every MulTBlock call for
+// that x, so the dangling list is scanned once rather than once per block.
+func (w *Walk) MulTPrep(x sparse.Vector) float64 {
+	if w.policy != DanglingUniform {
+		return 0
+	}
+	var mass float64
+	for _, u := range w.dangling {
+		mass += x[u]
+	}
+	return mass / float64(w.g.NumNodes())
 }
 
-// NewParallelWalk wraps g with the given dangling policy and worker count
-// (0 means GOMAXPROCS).
-func NewParallelWalk(g *Graph, policy DanglingPolicy, workers int) *ParallelWalk {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// MulTBlock computes the destination rows y[lo:hi) of y = Ãᵀ·x, leaving the
+// rest of y untouched. uniform must be the value MulTPrep returned for this
+// x. A block gathers over the in-adjacency (CSC), so disjoint blocks share
+// no output entries and can run concurrently without locking; this is the
+// row-block sharding of the CSR sparse-matvec that ParallelWalk and
+// rwr.Sharded fan out over goroutines. Summation order within each row is
+// fixed (ascending in-neighbor id), so results are deterministic for a given
+// block partition — though they may differ from the serial scatter-order
+// MulT in the last bits.
+func (w *Walk) MulTBlock(x, y sparse.Vector, lo, hi int, uniform float64) {
+	for v := lo; v < hi; v++ {
+		var s float64
+		for _, u := range w.g.InNeighbors(v) {
+			s += x[u] * w.invdeg[u]
+		}
+		if w.policy == DanglingSelfLoop && w.invdeg[v] == 0 {
+			s += x[v]
+		}
+		y[v] = s + uniform
 	}
-	n := g.NumNodes()
+}
+
+// BlockBounds partitions the destination range [0, N) into at most workers
+// contiguous blocks balanced by in-edge count — the work MulTBlock does per
+// row. bounds[i] is the first node of block i; bounds[len(bounds)-1] = N.
+// rwr.Sharded uses this partition when sharding the operator.
+func (w *Walk) BlockBounds(workers int) []int {
+	n := w.g.NumNodes()
 	if workers > n && n > 0 {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	w := &ParallelWalk{g: g, policy: policy, invdeg: make([]float64, n), workers: workers}
-	for u := 0; u < n; u++ {
-		if d := g.OutDegree(u); d > 0 {
-			w.invdeg[u] = 1 / float64(d)
-		}
-	}
-	// Balance destination ranges by in-edges (the work of MulT).
-	w.bounds = make([]int, workers+1)
-	total := g.NumEdges()
-	per := total/int64(workers) + 1
+	bounds := make([]int, workers+1)
+	per := w.g.NumEdges()/int64(workers) + 1
 	b, acc := 1, int64(0)
 	for v := 0; v < n && b < workers; v++ {
-		acc += int64(g.InDegree(v))
+		acc += int64(w.g.InDegree(v))
 		if acc >= per*int64(b) {
-			w.bounds[b] = v + 1
+			bounds[b] = v + 1
 			b++
 		}
 	}
 	for ; b < workers; b++ {
-		w.bounds[b] = n
+		bounds[b] = n
 	}
-	w.bounds[workers] = n
-	return w
+	bounds[workers] = n
+	return bounds
 }
 
-// Graph returns the underlying graph.
-func (w *ParallelWalk) Graph() *Graph { return w.g }
+// ParallelWalk is a Walk whose MulT fans the propagation out over worker
+// goroutines. Each worker owns a contiguous *destination* block of the
+// in-adjacency (see MulTBlock), so no two workers ever write the same output
+// entry and no locking is needed on the hot path. Results are deterministic
+// run-to-run for a fixed worker count.
+//
+// This is the "scalable" leg of the paper's title at the implementation
+// level: CPI and TPA accept any rwr.Operator, so swapping NewParallelWalk
+// for NewWalk parallelizes preprocessing and queries without other change.
+type ParallelWalk struct {
+	*Walk
+	workers int
+	// bounds is the edge-balanced destination partition, one block per
+	// worker (see Walk.BlockBounds).
+	bounds []int
+}
 
-// N returns the number of nodes.
-func (w *ParallelWalk) N() int { return w.g.NumNodes() }
+// NewParallelWalk wraps g with the given dangling policy and worker count
+// (0 means GOMAXPROCS).
+func NewParallelWalk(g *Graph, policy DanglingPolicy, workers int) *ParallelWalk {
+	return NewWalk(g, policy).Parallel(workers)
+}
+
+// Parallel returns a sharded view of w running MulT across workers
+// goroutines (0 means GOMAXPROCS). The view shares w's normalization state;
+// w itself stays valid and serial.
+func (w *Walk) Parallel(workers int) *ParallelWalk {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := w.g.NumNodes()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelWalk{Walk: w, workers: workers, bounds: w.BlockBounds(workers)}
+}
 
 // Workers returns the effective worker count.
 func (w *ParallelWalk) Workers() int { return w.workers }
 
-// MulT computes y = Ãᵀ·x in parallel over destination ranges.
+// MulT computes y = Ãᵀ·x in parallel over destination blocks.
 func (w *ParallelWalk) MulT(x, y sparse.Vector) sparse.Vector {
-	n := w.g.NumNodes()
-	var danglingMass float64
-	if w.policy == DanglingUniform {
-		for u := 0; u < n; u++ {
-			if w.g.OutDegree(u) == 0 {
-				danglingMass += x[u]
-			}
-		}
+	uniform := w.MulTPrep(x)
+	if w.workers == 1 {
+		w.MulTBlock(x, y, 0, w.N(), uniform)
+		return y
 	}
 	var wg sync.WaitGroup
 	for wk := 0; wk < w.workers; wk++ {
@@ -96,20 +133,7 @@ func (w *ParallelWalk) MulT(x, y sparse.Vector) sparse.Vector {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			uniform := danglingMass / float64(n)
-			for v := lo; v < hi; v++ {
-				var s float64
-				for _, u := range w.g.InNeighbors(v) {
-					s += x[u] * w.invdeg[u]
-				}
-				if w.policy == DanglingSelfLoop && w.g.OutDegree(v) == 0 {
-					s += x[v]
-				}
-				if w.policy == DanglingUniform {
-					s += uniform
-				}
-				y[v] = s
-			}
+			w.MulTBlock(x, y, lo, hi, uniform)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"tpa/internal/sparse"
+)
+
+// topkCache is a bounded LRU of top-k answers keyed by (seed, k). The engine
+// is immutable for the life of the process, so entries never need
+// invalidation; the bound only caps memory. On skewed real-world traffic
+// (the scale-free seed distributions TPA targets) a small cache absorbs the
+// hot head of the seed popularity curve.
+type topkCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[cacheKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct{ seed, k int }
+
+type cacheItem struct {
+	key cacheKey
+	top []sparse.Entry
+}
+
+func newTopkCache(capacity int) *topkCache {
+	return &topkCache{cap: capacity, ll: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached answer for (seed, k) and marks it most recently
+// used. The returned slice is shared; callers must not modify it.
+func (c *topkCache) Get(seed, k int) ([]sparse.Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[cacheKey{seed, k}]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheItem).top, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores an answer for (seed, k), evicting the least recently used entry
+// when the cache is full.
+func (c *topkCache) Put(seed, k int, top []sparse.Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{seed, k}
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).top = top
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheItem{key: key, top: top})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*cacheItem).key)
+	}
+}
+
+// snapshot reports cache occupancy and hit-rate counters for /stats.
+func (c *topkCache) snapshot() map[string]interface{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(c.hits) / float64(total)
+	}
+	return map[string]interface{}{
+		"enabled":  true,
+		"entries":  c.ll.Len(),
+		"capacity": c.cap,
+		"hits":     c.hits,
+		"misses":   c.misses,
+		"hit_rate": rate,
+	}
+}

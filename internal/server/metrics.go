@@ -1,0 +1,60 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats accumulates per-endpoint request counters for /stats. All
+// fields are updated atomically, so the hot path takes no lock.
+type endpointStats struct {
+	requests atomic.Int64 // completed + rejected requests
+	errors   atomic.Int64 // responses with status >= 400 (incl. rejections)
+	rejected atomic.Int64 // turned away by the concurrency limiter (503)
+	totalNS  atomic.Int64 // cumulative handler latency of completed requests
+}
+
+// observe records one completed request.
+func (s *endpointStats) observe(d time.Duration, code int) {
+	s.requests.Add(1)
+	s.totalNS.Add(int64(d))
+	if code >= 400 {
+		s.errors.Add(1)
+	}
+}
+
+// reject records a request turned away by the concurrency limiter.
+func (s *endpointStats) reject() {
+	s.requests.Add(1)
+	s.rejected.Add(1)
+	s.errors.Add(1)
+}
+
+// snapshot renders the counters for the /stats response.
+func (s *endpointStats) snapshot() map[string]interface{} {
+	n := s.requests.Load()
+	rejected := s.rejected.Load()
+	avgUS := 0.0
+	if completed := n - rejected; completed > 0 {
+		avgUS = float64(s.totalNS.Load()) / float64(completed) / 1e3
+	}
+	return map[string]interface{}{
+		"requests":       n,
+		"errors":         s.errors.Load(),
+		"rejected":       rejected,
+		"avg_latency_us": avgUS,
+	}
+}
+
+// statusWriter captures the response status code so instrumentation can
+// count errors.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

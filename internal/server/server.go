@@ -1,15 +1,25 @@
 // Package server provides the HTTP query service in front of a TPA engine
 // (cmd/tpad): JSON endpoints for top-k queries, single scores, multi-seed
-// personalized PageRank, and basic introspection. It is the "query server"
-// deployment shape the paper's preprocessing/online split is designed for —
-// preprocess once, ship the O(n) index, answer seeds cheaply.
+// personalized PageRank, batched top-k, and introspection. It is the "query
+// server" deployment shape the paper's preprocessing/online split is
+// designed for — preprocess once, ship the O(n) index, answer seeds cheaply.
+//
+// The production serving features are opt-in through Options: a bounded LRU
+// cache of top-k answers (the engine is immutable, so entries never expire),
+// a worker pool fanning POST /batch out across the engine's concurrent query
+// path, a request-concurrency limit that sheds load with 503 instead of
+// queueing unboundedly, and per-endpoint latency / cache hit-rate counters
+// exposed on GET /stats.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"tpa/internal/sparse"
 )
@@ -20,6 +30,7 @@ type Engine interface {
 	Query(seed int) ([]float64, error)
 	QuerySet(seeds []int) ([]float64, error)
 	TopK(seed, k int) ([]sparse.Entry, error)
+	TopKBatch(seeds []int, k, parallelism int) ([][]sparse.Entry, error)
 	Params() (s, t int)
 	IndexBytes() int64
 	ErrorBound() float64
@@ -32,25 +43,76 @@ type Info struct {
 	Name  string `json:"name,omitempty"`
 }
 
+// Options configure the production serving features.
+type Options struct {
+	// Workers is the fan-out of POST /batch over the engine's worker pool.
+	// 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the LRU top-k result cache in entries; 0 disables
+	// caching.
+	CacheSize int
+	// MaxInFlight caps concurrently executing query requests; excess
+	// requests are shed with 503 Service Unavailable. 0 means unlimited.
+	// /healthz and /stats are never limited.
+	MaxInFlight int
+	// MaxBatch rejects /batch and /queryset requests carrying more seeds
+	// with 413. 0 means unlimited.
+	MaxBatch int
+}
+
+// DefaultOptions returns the serving defaults: a 4096-entry cache and a
+// 256-request concurrency limit.
+func DefaultOptions() Options {
+	return Options{CacheSize: 4096, MaxInFlight: 256}
+}
+
 // Handler serves the TPA query API:
 //
 //	GET  /topk?seed=42&k=10       → {"seed":42,"results":[{"node":..,"score":..},...]}
 //	GET  /score?seed=42&node=7    → {"seed":42,"node":7,"score":0.0123}
-//	POST /queryset  {"seeds":[1,2],"k":10}
-//	GET  /stats                   → graph/engine metadata
+//	POST /batch     {"seeds":[1,2,3],"k":10}   → one top-k result per seed
+//	POST /queryset  {"seeds":[1,2],"k":10}     → top-k of the multi-seed RWR
+//	GET  /stats                   → graph/engine metadata + serving counters
 //	GET  /healthz                 → 200 ok
+//
+// See docs/API.md for request/response details.
 type Handler struct {
 	eng  Engine
 	info Info
+	opts Options
 	mux  *http.ServeMux
+
+	cache     *topkCache    // nil when Options.CacheSize == 0
+	sem       chan struct{} // nil when Options.MaxInFlight == 0
+	inFlight  atomic.Int64
+	endpoints map[string]*endpointStats
 }
 
-// New builds the handler.
-func New(eng Engine, info Info) *Handler {
-	h := &Handler{eng: eng, info: info, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /topk", h.topk)
-	h.mux.HandleFunc("GET /score", h.score)
-	h.mux.HandleFunc("POST /queryset", h.querySet)
+// New builds a handler with DefaultOptions.
+func New(eng Engine, info Info) *Handler { return NewWith(eng, info, DefaultOptions()) }
+
+// NewWith builds a handler with explicit serving options.
+func NewWith(eng Engine, info Info, opts Options) *Handler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	h := &Handler{
+		eng:       eng,
+		info:      info,
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		endpoints: make(map[string]*endpointStats),
+	}
+	if opts.CacheSize > 0 {
+		h.cache = newTopkCache(opts.CacheSize)
+	}
+	if opts.MaxInFlight > 0 {
+		h.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	h.handle("GET /topk", "topk", h.topk)
+	h.handle("GET /score", "score", h.score)
+	h.handle("POST /batch", "batch", h.batch)
+	h.handle("POST /queryset", "queryset", h.querySet)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -61,6 +123,49 @@ func New(eng Engine, info Info) *Handler {
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// handle registers a query endpoint behind the concurrency limiter and the
+// latency instrumentation.
+func (h *Handler) handle(pattern, name string, fn http.HandlerFunc) {
+	st := &endpointStats{}
+	h.endpoints[name] = st
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if h.sem != nil {
+			select {
+			case h.sem <- struct{}{}:
+				defer func() { <-h.sem }()
+			default:
+				st.reject()
+				httpError(w, http.StatusServiceUnavailable, "server at capacity")
+				return
+			}
+		}
+		h.inFlight.Add(1)
+		defer h.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		st.observe(time.Since(start), sw.code)
+	})
+}
+
+// cachedTopK answers a top-k query through the LRU cache, falling back to
+// the provided compute function on a miss.
+func (h *Handler) cachedTopK(seed, k int) ([]sparse.Entry, error) {
+	if h.cache != nil {
+		if top, ok := h.cache.Get(seed, k); ok {
+			return top, nil
+		}
+	}
+	top, err := h.eng.TopK(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	if h.cache != nil {
+		h.cache.Put(seed, k, top)
+	}
+	return top, nil
+}
 
 // entryJSON is the wire form of a scored node.
 type entryJSON struct {
@@ -87,7 +192,7 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid k")
 		return
 	}
-	top, err := h.eng.TopK(seed, k)
+	top, err := h.cachedTopK(seed, k)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -118,6 +223,67 @@ func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"seed": seed, "node": node, "score": scores[node]})
 }
 
+// batchRequest is the POST /batch body.
+type batchRequest struct {
+	Seeds []int `json:"seeds"`
+	K     int   `json:"k"`
+}
+
+// seedResult is one per-seed answer in the POST /batch response.
+type seedResult struct {
+	Seed    int         `json:"seed"`
+	Results []entryJSON `json:"results"`
+}
+
+// batch answers one top-k query per seed, checking the LRU cache per seed
+// and fanning the misses out over the engine's worker pool in a single
+// TopKBatch call.
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Seeds) == 0 {
+		httpError(w, http.StatusBadRequest, "seeds must be non-empty")
+		return
+	}
+	if h.opts.MaxBatch > 0 && len(req.Seeds) > h.opts.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d seeds exceeds limit %d", len(req.Seeds), h.opts.MaxBatch))
+		return
+	}
+	if req.K < 1 {
+		req.K = 10
+	}
+	out := make([]seedResult, len(req.Seeds))
+	var missSeeds, missPos []int
+	for i, s := range req.Seeds {
+		if h.cache != nil {
+			if top, ok := h.cache.Get(s, req.K); ok {
+				out[i] = seedResult{Seed: s, Results: toJSON(top)}
+				continue
+			}
+		}
+		missSeeds = append(missSeeds, s)
+		missPos = append(missPos, i)
+	}
+	if len(missSeeds) > 0 {
+		tops, err := h.eng.TopKBatch(missSeeds, req.K, h.opts.Workers)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		for j, top := range tops {
+			if h.cache != nil {
+				h.cache.Put(missSeeds[j], req.K, top)
+			}
+			out[missPos[j]] = seedResult{Seed: missSeeds[j], Results: toJSON(top)}
+		}
+	}
+	writeJSON(w, map[string]interface{}{"k": req.K, "results": out})
+}
+
 // querySetRequest is the POST /queryset body.
 type querySetRequest struct {
 	Seeds []int `json:"seeds"`
@@ -134,6 +300,11 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "seeds must be non-empty")
 		return
 	}
+	if h.opts.MaxBatch > 0 && len(req.Seeds) > h.opts.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("seed set of %d exceeds limit %d", len(req.Seeds), h.opts.MaxBatch))
+		return
+	}
 	if req.K < 1 {
 		req.K = 10
 	}
@@ -148,12 +319,25 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	s, t := h.eng.Params()
+	endpoints := make(map[string]interface{}, len(h.endpoints))
+	for name, st := range h.endpoints {
+		endpoints[name] = st.snapshot()
+	}
+	cache := map[string]interface{}{"enabled": false}
+	if h.cache != nil {
+		cache = h.cache.snapshot()
+	}
 	writeJSON(w, map[string]interface{}{
-		"graph":       h.info,
-		"s":           s,
-		"t":           t,
-		"index_bytes": h.eng.IndexBytes(),
-		"error_bound": h.eng.ErrorBound(),
+		"graph":         h.info,
+		"s":             s,
+		"t":             t,
+		"index_bytes":   h.eng.IndexBytes(),
+		"error_bound":   h.eng.ErrorBound(),
+		"workers":       h.opts.Workers,
+		"max_in_flight": h.opts.MaxInFlight,
+		"in_flight":     h.inFlight.Load(),
+		"endpoints":     endpoints,
+		"cache":         cache,
 	})
 }
 

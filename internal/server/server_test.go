@@ -3,21 +3,44 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"tpa"
+	"tpa/internal/sparse"
 )
 
-func testHandler(t *testing.T) *Handler {
+func testEngine(t *testing.T) *tpa.Engine {
 	t.Helper()
 	g := tpa.RandomCommunityGraph(200, 1800, 4, 31)
 	eng, err := tpa.New(g, tpa.Defaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(eng, Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: "test"})
+	return eng
+}
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	eng := testEngine(t)
+	return New(eng, Info{Nodes: 200, Edges: 1800, Name: "test"})
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp map[string]interface{}
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil && rec.Code == http.StatusOK {
+			t.Fatalf("%s: bad JSON: %v (%s)", path, err, rec.Body.String())
+		}
+	}
+	return rec, resp
 }
 
 func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
@@ -150,4 +173,218 @@ func TestStats(t *testing.T) {
 	if g["name"].(string) != "test" {
 		t.Errorf("graph info %v", g)
 	}
+}
+
+func TestBatch(t *testing.T) {
+	h := testHandler(t)
+	rec, body := postJSON(t, h, "/batch", `{"seeds":[5,9,5,17],"k":4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 4 {
+		t.Fatalf("got %d per-seed results", len(results))
+	}
+	// Each per-seed answer must match the single-query endpoint.
+	for _, r := range results {
+		sr := r.(map[string]interface{})
+		seed := int(sr["seed"].(float64))
+		entries := sr["results"].([]interface{})
+		if len(entries) != 4 {
+			t.Fatalf("seed %d: %d entries", seed, len(entries))
+		}
+		rec2, single := get(t, h, fmt.Sprintf("/topk?seed=%d&k=4", seed))
+		if rec2.Code != http.StatusOK {
+			t.Fatal(rec2.Code)
+		}
+		want := single["results"].([]interface{})
+		for j := range entries {
+			e, w := entries[j].(map[string]interface{}), want[j].(map[string]interface{})
+			if e["node"] != w["node"] || e["score"] != w["score"] {
+				t.Errorf("seed %d entry %d: batch %v != topk %v", seed, j, e, w)
+			}
+		}
+	}
+}
+
+func TestBatchBadRequests(t *testing.T) {
+	h := testHandler(t)
+	cases := []string{`not json`, `{"seeds":[]}`, `{"seeds":[1,999999]}`}
+	wants := []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusUnprocessableEntity}
+	for i, c := range cases {
+		rec, _ := postJSON(t, h, "/batch", c)
+		if rec.Code != wants[i] {
+			t.Errorf("body %q: code %d, want %d", c, rec.Code, wants[i])
+		}
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	eng := testEngine(t)
+	h := NewWith(eng, Info{Name: "test"}, Options{MaxBatch: 2})
+	rec, _ := postJSON(t, h, "/batch", `{"seeds":[1,2,3]}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: code %d, want 413", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/batch", `{"seeds":[1,2]}`)
+	if rec.Code != http.StatusOK {
+		t.Errorf("in-limit batch: code %d", rec.Code)
+	}
+	// The same cap guards /queryset: its multi-seed query is just as
+	// unbounded as a batch.
+	rec, _ = postJSON(t, h, "/queryset", `{"seeds":[1,2,3]}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized queryset: code %d, want 413", rec.Code)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	eng := testEngine(t)
+	h := NewWith(eng, Info{Name: "test"}, Options{CacheSize: 8})
+	// Same (seed, k) twice: second hit must come from the cache.
+	for i := 0; i < 2; i++ {
+		if rec, _ := get(t, h, "/topk?seed=3&k=5"); rec.Code != http.StatusOK {
+			t.Fatal(rec.Code)
+		}
+	}
+	_, stats := get(t, h, "/stats")
+	cache := stats["cache"].(map[string]interface{})
+	if cache["hits"].(float64) < 1 {
+		t.Errorf("cache hits = %v after repeat query", cache["hits"])
+	}
+	if cache["hit_rate"].(float64) <= 0 {
+		t.Errorf("hit_rate = %v", cache["hit_rate"])
+	}
+	// A batch over cached + uncached seeds must still answer every seed.
+	rec, body := postJSON(t, h, "/batch", `{"seeds":[3,4],"k":5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	if n := len(body["results"].([]interface{})); n != 2 {
+		t.Fatalf("mixed cache batch: %d results", n)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newTopkCache(2)
+	c.Put(1, 10, []sparse.Entry{{Index: 1, Score: 0.5}})
+	c.Put(2, 10, []sparse.Entry{{Index: 2, Score: 0.5}})
+	if _, ok := c.Get(1, 10); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	// Entry 2 is now LRU; inserting a third must evict it, not entry 1.
+	c.Put(3, 10, []sparse.Entry{{Index: 3, Score: 0.5}})
+	if _, ok := c.Get(2, 10); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(1, 10); !ok {
+		t.Error("recently used entry evicted")
+	}
+	// Same seed with a different k is a distinct entry.
+	if _, ok := c.Get(1, 20); ok {
+		t.Error("k ignored in cache key")
+	}
+}
+
+// slowEngine blocks TopK until released, to pin requests in flight.
+type slowEngine struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *slowEngine) TopK(seed, k int) ([]sparse.Entry, error) {
+	s.entered <- struct{}{}
+	<-s.release
+	return []sparse.Entry{{Index: seed, Score: 1}}, nil
+}
+func (s *slowEngine) Query(seed int) ([]float64, error)       { return []float64{1}, nil }
+func (s *slowEngine) QuerySet(seeds []int) ([]float64, error) { return []float64{1}, nil }
+func (s *slowEngine) TopKBatch(seeds []int, k, p int) ([][]sparse.Entry, error) {
+	return make([][]sparse.Entry, len(seeds)), nil
+}
+func (s *slowEngine) Params() (int, int)  { return 5, 10 }
+func (s *slowEngine) IndexBytes() int64   { return 8 }
+func (s *slowEngine) ErrorBound() float64 { return 0.44 }
+
+func TestConcurrencyLimitSheds503(t *testing.T) {
+	eng := &slowEngine{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	h := NewWith(eng, Info{Name: "test"}, Options{MaxInFlight: 1, CacheSize: 0})
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/topk?seed=1", nil))
+		done <- rec.Code
+	}()
+	<-eng.entered // first request now holds the only slot
+	rec, _ := get(t, h, "/topk?seed=2")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("second request: code %d, want 503", rec.Code)
+	}
+	// /healthz and /stats bypass the limiter.
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hrec.Code != http.StatusOK {
+		t.Errorf("healthz limited: %d", hrec.Code)
+	}
+	rec, stats := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Errorf("stats limited: %d", rec.Code)
+	}
+	if got := stats["in_flight"].(float64); got != 1 {
+		t.Errorf("in_flight = %v, want 1", got)
+	}
+	ep := stats["endpoints"].(map[string]interface{})["topk"].(map[string]interface{})
+	if ep["rejected"].(float64) != 1 {
+		t.Errorf("rejected counter = %v, want 1", ep["rejected"])
+	}
+	close(eng.release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("first request: code %d", code)
+	}
+}
+
+func TestStatsEndpointCounters(t *testing.T) {
+	h := testHandler(t)
+	get(t, h, "/topk?seed=1&k=3")
+	get(t, h, "/topk?seed=bogus")
+	_, stats := get(t, h, "/stats")
+	ep := stats["endpoints"].(map[string]interface{})["topk"].(map[string]interface{})
+	if ep["requests"].(float64) != 2 {
+		t.Errorf("requests = %v, want 2", ep["requests"])
+	}
+	if ep["errors"].(float64) != 1 {
+		t.Errorf("errors = %v, want 1", ep["errors"])
+	}
+	if ep["avg_latency_us"].(float64) < 0 {
+		t.Errorf("negative latency %v", ep["avg_latency_us"])
+	}
+}
+
+// TestConcurrentClients hammers every endpoint from many goroutines; run
+// under -race it verifies the cache, counters and worker pool are
+// thread-safe.
+func TestConcurrentClients(t *testing.T) {
+	eng := testEngine(t)
+	h := NewWith(eng, Info{Name: "race"}, Options{Workers: 4, CacheSize: 16, MaxInFlight: 64})
+	var wg sync.WaitGroup
+	for c := 0; c < 12; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				seed := (c*7 + i) % 20
+				if rec, _ := get(t, h, fmt.Sprintf("/topk?seed=%d&k=5", seed)); rec.Code != http.StatusOK {
+					t.Errorf("topk: %d", rec.Code)
+				}
+				body := fmt.Sprintf(`{"seeds":[%d,%d,%d],"k":3}`, seed, seed+1, (seed+50)%200)
+				if rec, _ := postJSON(t, h, "/batch", body); rec.Code != http.StatusOK {
+					t.Errorf("batch: %d", rec.Code)
+				}
+				if rec, _ := get(t, h, "/stats"); rec.Code != http.StatusOK {
+					t.Errorf("stats: %d", rec.Code)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }

@@ -9,6 +9,7 @@
 //	eng, _ := tpa.New(g, tpa.Defaults())      // preprocessing phase (once)
 //	scores, _ := eng.Query(seed)              // online phase (per seed)
 //	top, _ := eng.TopK(seed, 100)
+//	batch, _ := eng.QueryBatch(seeds, 8)      // fan out over 8 workers
 //
 // Preprocessing runs a single PageRank-style cumulative power iteration and
 // stores one float64 per node; queries run only S propagation steps from
@@ -85,6 +86,10 @@ type Options struct {
 	// T is the first iteration of the stranger part, estimated by
 	// PageRank (default 10). Must exceed S.
 	T int
+	// Workers bounds the goroutines used for parallel work: New shards the
+	// preprocessing matvec over this many row blocks, and QueryBatch/
+	// TopKBatch default to this pool size. 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Defaults returns the paper's standard configuration: c = 0.15, ε = 1e-9,
@@ -102,17 +107,22 @@ type Engine struct {
 	// walk retains the in-memory operator when the engine was built from a
 	// Graph (nil for streaming engines).
 	walk *graph.Walk
+	// workers is the default parallelism for batch queries (0 = GOMAXPROCS).
+	workers int
 }
 
 // New runs TPA's preprocessing phase on g and returns a queryable Engine.
+// The preprocessing sparse-matvec is sharded over Options.Workers row-block
+// goroutines (0 = GOMAXPROCS); the online phase stays serial per query, with
+// QueryBatch providing cross-query parallelism.
 func New(g *Graph, o Options) (*Engine, error) {
 	cfg, params := o.split()
 	w := graph.NewWalk(g, graph.DanglingSelfLoop)
-	tp, err := core.Preprocess(w, cfg, params)
+	tp, err := core.PreprocessParallel(w, cfg, params, o.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w}, nil
+	return &Engine{tpa: tp, walk: w, workers: o.Workers}, nil
 }
 
 // AutoTune selects S and T for the graph (sampling a few exact queries)
@@ -125,11 +135,11 @@ func AutoTune(g *Graph, o Options, maxBound float64, sampleSeeds []int) (*Engine
 	if err != nil {
 		return nil, fmt.Errorf("tpa: tuning: %w", err)
 	}
-	tp, err := core.Preprocess(w, cfg, params)
+	tp, err := core.PreprocessParallel(w, cfg, params, o.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w}, nil
+	return &Engine{tpa: tp, walk: w, workers: o.Workers}, nil
 }
 
 // Query returns the approximate RWR score vector for the seed node
@@ -151,6 +161,43 @@ func (e *Engine) QuerySet(seeds []int) ([]float64, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// QueryBatch answers one query per seed, fanned out over a pool of
+// parallelism worker goroutines with pooled scratch vectors, so the
+// per-query allocation is just the returned vector. parallelism ≤ 0 uses
+// Options.Workers (or GOMAXPROCS if that was 0 too). Results[i] corresponds
+// to seeds[i]; a single out-of-range seed fails the whole batch up front.
+// Streaming engines (NewFromEdgeFile) run the batch serially: the disk
+// operator has one file cursor.
+func (e *Engine) QueryBatch(seeds []int, parallelism int) ([][]float64, error) {
+	rs, err := e.tpa.QueryBatch(seeds, e.batchWorkers(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out, nil
+}
+
+// TopKBatch answers a top-k query per seed with the same worker pool as
+// QueryBatch, returning only the k best entries per seed — full score
+// vectors never leave the scratch pool. This is the call production batch
+// endpoints should use.
+func (e *Engine) TopKBatch(seeds []int, k, parallelism int) ([][]Entry, error) {
+	return e.tpa.TopKBatch(seeds, k, e.batchWorkers(parallelism))
+}
+
+func (e *Engine) batchWorkers(parallelism int) int {
+	if e.walk == nil {
+		return 1 // streaming operator: single shared file cursor
+	}
+	if parallelism <= 0 {
+		parallelism = e.workers
+	}
+	return parallelism
 }
 
 // TopK returns the k nodes most relevant to the seed, highest score first.
