@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -json -bench` output on stdin into a
+// compact machine-readable benchmark report on stdout, for CI to archive as
+// an artifact per PR:
+//
+//	go test -json -bench 'SnapshotLoad|QueryBatch' -benchtime 200ms -run '^$' . \
+//	    | go run ./cmd/benchjson > BENCH_ci.json
+//
+// It accepts both `go test -json` event streams and plain `go test -bench`
+// text, so it also works locally without the -json flag. The report:
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkSnapshotLoad", "package": "tpa", "procs": 8,
+//	     "runs": 14, "ns_per_op": 16420210, "metrics": {"MB/s": 389.11}}
+//	  ]
+//	}
+//
+// Exits nonzero when no benchmark lines were found, so a CI regex drift
+// fails loudly instead of archiving an empty report.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchResult is one benchmark line of the report.
+type benchResult struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Procs   int                `json:"procs,omitempty"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the whole document benchjson emits.
+type report struct {
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   \t  14\t  16420210 ns/op\t 389 MB/s".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*report, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rep := &report{Benchmarks: []benchResult{}}
+	for sc.Scan() {
+		line := sc.Text()
+		pkg := ""
+		// A `go test -json` stream wraps each output line in an event.
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+				continue
+			}
+			pkg = ev.Package
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		rep.scanLine(strings.TrimSpace(line), pkg)
+	}
+	return rep, sc.Err()
+}
+
+// scanLine folds one output line into the report: environment headers,
+// benchmark results, everything else ignored.
+func (rep *report) scanLine(line, pkg string) {
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		rep.GoOS = strings.TrimPrefix(line, "goos: ")
+	case strings.HasPrefix(line, "goarch: "):
+		rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+	case strings.HasPrefix(line, "cpu: "):
+		rep.CPU = strings.TrimPrefix(line, "cpu: ")
+	}
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return
+	}
+	res := benchResult{Name: m[1], Package: pkg}
+	if m[2] != "" {
+		res.Procs, _ = strconv.Atoi(m[2])
+	}
+	res.Runs, _ = strconv.ParseInt(m[3], 10, 64)
+	// The tail is "\t"-ish separated "<value> <unit>" pairs.
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return // not a result line after all (e.g. a log line)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = val
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = val
+	}
+	rep.Benchmarks = append(rep.Benchmarks, res)
+}

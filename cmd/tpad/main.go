@@ -1,21 +1,23 @@
-// Command tpad serves TPA queries over HTTP:
+// Command tpad builds TPA snapshots and serves queries over HTTP:
 //
-//	tpad -graph edges.tsv [-index prebuilt.idx] [-addr :8080] [-s 5 -t 10]
-//	     [-workers 8] [-cache 4096] [-max-inflight 256] [-max-batch 4096]
+//	tpad build -graph edges.tsv [-o edges.tpas] [-s 5 -t 10 -c 0.15] [-workers 8]
+//	tpad serve -graphs snapshots/ [-addr :8080] [-cache 4096] [-max-inflight 256]
+//	tpad serve -graph edges.tsv [-index prebuilt.idx] [...]
+//	tpad -graph edges.tsv [...]                  (legacy alias for "serve")
 //
-// It loads (or computes) the TPA index for the graph, then serves:
-//
-//	GET  /topk?seed=42&k=10
-//	GET  /score?seed=42&node=7
-//	POST /batch     {"seeds":[1,2,3],"k":10}
-//	POST /queryset  {"seeds":[1,2,3],"k":10}
-//	GET  /stats
-//	GET  /healthz
+// build runs preprocessing once and writes a combined graph+index snapshot
+// (.tpas); serve -graphs loads every snapshot and edge list in a directory
+// as a named graph, so one process answers /graphs/{name}/… for all of
+// them — snapshots cold-start with two sequential reads, no edge-list
+// parsing and no re-preprocessing. Graphs registered from files are
+// hot-reloadable via POST /graphs/{name}/reload, which rebuilds from the
+// file and atomically swaps the engine with zero dropped queries.
 //
 // -workers shards the preprocessing matvec and sizes the /batch worker pool;
-// -cache bounds the LRU top-k result cache; -max-inflight sheds load with
-// 503 beyond that many concurrent queries. SIGINT/SIGTERM drain in-flight
-// requests before exiting. See docs/API.md for the endpoint reference.
+// -cache bounds each graph's LRU top-k cache partition; -max-inflight sheds
+// load with 503 beyond that many concurrent queries. SIGINT/SIGTERM drain
+// in-flight requests before exiting. See docs/API.md for the endpoint
+// reference and the snapshot format spec.
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,57 +38,156 @@ import (
 )
 
 func main() {
-	graphPath := flag.String("graph", "", "edge-list file (required)")
-	indexPath := flag.String("index", "", "optional prebuilt index (from `tpa preprocess`)")
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "goroutines for preprocessing and /batch fan-out (0 = all CPUs)")
-	cacheSize := flag.Int("cache", 4096, "top-k LRU cache entries (0 disables caching)")
-	maxInflight := flag.Int("max-inflight", 256, "concurrent query requests before shedding 503s (0 = unlimited)")
-	maxBatch := flag.Int("max-batch", 4096, "max seeds per /batch or /queryset request (0 = unlimited)")
-	o := tpa.Defaults()
-	flag.Float64Var(&o.C, "c", o.C, "restart probability")
-	flag.Float64Var(&o.Eps, "eps", o.Eps, "convergence tolerance")
-	flag.IntVar(&o.S, "s", o.S, "neighbor-part start iteration S")
-	flag.IntVar(&o.T, "t", o.T, "stranger-part start iteration T")
-	flag.Parse()
-	o.Workers = *workers
-
-	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "tpad: -graph is required")
-		os.Exit(2)
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "build":
+		err = cmdBuild(args[1:])
+	case len(args) > 0 && args[0] == "serve":
+		err = cmdServe(args[1:])
+	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
+		usage()
+		return
+	default:
+		// Legacy single-graph invocation: tpad -graph edges.tsv ...
+		err = cmdServe(args)
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tpad build -graph <edges.tsv> [-o <out.tpas>] [-s 5] [-t 10] [-c 0.15] [-eps 1e-9] [-workers N]
+  tpad serve -graphs <dir>      [-addr :8080] [serving flags]
+  tpad serve -graph <edges.tsv> [-index <in.idx>] [-addr :8080] [serving flags]
+
+serving flags: -workers N -cache N -max-inflight N -max-batch N -c -eps -s -t
+"tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".`)
+}
+
+func tpaOpts(fs *flag.FlagSet) *tpa.Options {
+	o := tpa.Defaults()
+	fs.Float64Var(&o.C, "c", o.C, "restart probability")
+	fs.Float64Var(&o.Eps, "eps", o.Eps, "convergence tolerance")
+	fs.IntVar(&o.S, "s", o.S, "neighbor-part start iteration S")
+	fs.IntVar(&o.T, "t", o.T, "stranger-part start iteration T")
+	return &o
+}
+
+// cmdBuild runs the one-off preprocessing phase and writes the combined
+// graph+index snapshot, the artifact "tpad serve" cold-starts from.
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list file (required, .gz supported)")
+	out := fs.String("o", "", "output snapshot file (default: graph path with .tpas extension)")
+	workers := fs.Int("workers", 0, "goroutines for the preprocessing matvec (0 = all CPUs)")
+	o := tpaOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("build: -graph is required")
+	}
+	o.Workers = *workers
+	dest := *out
+	if dest == "" {
+		dest = snapshotName(*graphPath)
+	}
+	start := time.Now()
 	g, err := tpa.LoadGraph(*graphPath)
 	if err != nil {
-		log.Fatalf("tpad: loading graph: %v", err)
+		return fmt.Errorf("build: loading graph: %w", err)
 	}
-	var eng *tpa.Engine
-	if *indexPath != "" {
-		f, err := os.Open(*indexPath)
-		if err != nil {
-			log.Fatalf("tpad: opening index: %v", err)
-		}
-		eng, err = tpa.LoadIndex(f, g)
-		f.Close()
-		if err != nil {
-			log.Fatalf("tpad: loading index: %v", err)
-		}
-	} else {
-		eng, err = tpa.New(g, o)
-		if err != nil {
-			log.Fatalf("tpad: preprocessing: %v", err)
-		}
+	loadT := time.Since(start)
+	start = time.Now()
+	eng, err := tpa.New(g, *o)
+	if err != nil {
+		return fmt.Errorf("build: preprocessing: %w", err)
+	}
+	prepT := time.Since(start)
+	if err := eng.SaveSnapshotFile(dest); err != nil {
+		return fmt.Errorf("build: writing snapshot: %w", err)
+	}
+	st, err := os.Stat(dest)
+	if err != nil {
+		return err
 	}
 	s, t := eng.Params()
-	log.Printf("tpad: serving %d nodes / %d edges (S=%d T=%d, index %d bytes) on %s",
-		g.NumNodes(), g.NumEdges(), s, t, eng.IndexBytes(), *addr)
-	h := server.NewWith(eng,
-		server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: *graphPath},
-		server.Options{
-			Workers:     *workers,
-			CacheSize:   *cacheSize,
-			MaxInFlight: *maxInflight,
-			MaxBatch:    *maxBatch,
-		})
+	fmt.Printf("built %s: %d nodes / %d edges (S=%d T=%d), %d bytes\n",
+		dest, g.NumNodes(), g.NumEdges(), s, t, st.Size())
+	fmt.Printf("  parse %v, preprocess %v — serve cold-starts skip both\n",
+		loadT.Round(time.Millisecond), prepT.Round(time.Millisecond))
+	return nil
+}
+
+// stem strips an optional ".gz" and then the extension: "edges.tsv.gz" →
+// "edges". It is the one rule mapping file names to graph names, shared by
+// the `build` output default and the `serve -graphs` registry, so the two
+// always agree on which snapshot corresponds to which edge list.
+func stem(path string) (name, ext string) {
+	base := strings.TrimSuffix(path, ".gz")
+	ext = filepath.Ext(base)
+	return strings.TrimSuffix(base, ext), ext
+}
+
+// snapshotName maps an edge-list path to its default snapshot path:
+// edges.tsv → edges.tpas, edges.tsv.gz → edges.tpas.
+func snapshotName(graphPath string) string {
+	name, _ := stem(graphPath)
+	return name + ".tpas"
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	graphsDir := fs.String("graphs", "", "directory of snapshots (.tpas) and edge lists to serve as named graphs")
+	graphPath := fs.String("graph", "", "single edge-list file")
+	indexPath := fs.String("index", "", "optional prebuilt index (from `tpa preprocess`) for -graph")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "goroutines for preprocessing and /batch fan-out (0 = all CPUs)")
+	cacheSize := fs.Int("cache", 4096, "top-k LRU cache entries per graph (0 disables caching)")
+	maxInflight := fs.Int("max-inflight", 256, "concurrent query requests before shedding 503s (0 = unlimited)")
+	maxBatch := fs.Int("max-batch", 4096, "max seeds per /batch or /queryset request (0 = unlimited)")
+	o := tpaOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o.Workers = *workers
+	if (*graphsDir == "") == (*graphPath == "") {
+		return fmt.Errorf("serve: exactly one of -graphs or -graph is required")
+	}
+	if *indexPath != "" && *graphsDir != "" {
+		return fmt.Errorf("serve: -index only applies to a single -graph edge list, not -graphs")
+	}
+	if *indexPath != "" && strings.HasSuffix(*graphPath, ".tpas") {
+		return fmt.Errorf("serve: -index cannot be combined with a .tpas snapshot (it already embeds its index)")
+	}
+
+	h := server.NewRegistry(server.Options{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxInflight,
+		MaxBatch:    *maxBatch,
+	})
+	if *graphsDir != "" {
+		if err := registerDir(h, *graphsDir, *o); err != nil {
+			return err
+		}
+	} else {
+		if err := h.RegisterLoader("default", singleLoader(*graphPath, *indexPath, *o)); err != nil {
+			return err
+		}
+		if err := h.SetDefault("default"); err != nil {
+			return err
+		}
+	}
+	names := h.GraphNames()
+	if len(names) == 0 {
+		return fmt.Errorf("serve: no graphs registered from %s", *graphsDir)
+	}
+	log.Printf("tpad: serving %d graph(s) on %s: %s", len(names), *addr, strings.Join(names, ", "))
 
 	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,7 +196,7 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
-		log.Fatalf("tpad: serving: %v", err)
+		return fmt.Errorf("serving: %w", err)
 	case <-ctx.Done():
 	}
 	stop()
@@ -104,4 +207,131 @@ func main() {
 		log.Printf("tpad: shutdown: %v", err)
 	}
 	log.Printf("tpad: bye")
+	return nil
+}
+
+// singleLoader rebuilds the engine for the legacy single-graph mode: a
+// snapshot if the path is one, otherwise edge list + optional prebuilt
+// index, otherwise edge list + preprocessing.
+func singleLoader(graphPath, indexPath string, o tpa.Options) server.Loader {
+	if strings.HasSuffix(graphPath, ".tpas") {
+		return snapshotLoader(graphPath)
+	}
+	return func() (server.Engine, server.Info, error) {
+		g, err := tpa.LoadGraph(graphPath)
+		if err != nil {
+			return nil, server.Info{}, err
+		}
+		var eng *tpa.Engine
+		if indexPath != "" {
+			f, err := os.Open(indexPath)
+			if err != nil {
+				return nil, server.Info{}, err
+			}
+			eng, err = tpa.LoadIndex(f, g)
+			f.Close()
+			if err != nil {
+				return nil, server.Info{}, err
+			}
+		} else {
+			eng, err = tpa.New(g, o)
+			if err != nil {
+				return nil, server.Info{}, err
+			}
+		}
+		return eng, engineInfo(eng, graphPath), nil
+	}
+}
+
+// snapshotLoader cold-starts from a combined snapshot: no edge-list parse,
+// no preprocessing.
+func snapshotLoader(path string) server.Loader {
+	return func() (server.Engine, server.Info, error) {
+		start := time.Now()
+		eng, err := tpa.LoadSnapshotFile(path)
+		if err != nil {
+			return nil, server.Info{}, err
+		}
+		log.Printf("tpad: snapshot %s loaded in %v", path, time.Since(start).Round(time.Millisecond))
+		return eng, engineInfo(eng, path), nil
+	}
+}
+
+// edgeListLoader parses and preprocesses an edge list; used for directory
+// entries that are not snapshots.
+func edgeListLoader(path string, o tpa.Options) server.Loader {
+	return func() (server.Engine, server.Info, error) {
+		g, err := tpa.LoadGraph(path)
+		if err != nil {
+			return nil, server.Info{}, err
+		}
+		eng, err := tpa.New(g, o)
+		if err != nil {
+			return nil, server.Info{}, err
+		}
+		return eng, engineInfo(eng, path), nil
+	}
+}
+
+func engineInfo(eng *tpa.Engine, path string) server.Info {
+	g := eng.Graph()
+	return server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: path}
+}
+
+// registerDir scans dir and registers every snapshot (.tpas) and edge list
+// (.tsv/.txt/.edges, optionally .gz) as a named, reloadable graph. The
+// graph name is the file name without extensions; when a snapshot and an
+// edge list share a stem (the `tpad build` default layout), the snapshot
+// wins and the edge list is skipped.
+func registerDir(h *server.Handler, dir string, o tpa.Options) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: reading -graphs dir: %w", err)
+	}
+	snapshots := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tpas") {
+			snapshots[strings.TrimSuffix(e.Name(), ".tpas")] = true
+		}
+	}
+	registered := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		name, loader := classify(path, e.Name(), o)
+		if loader == nil {
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".tpas") && snapshots[name] {
+			log.Printf("tpad: %s shadowed by %s.tpas, skipping", path, name)
+			continue
+		}
+		if err := h.RegisterLoader(name, loader); err != nil {
+			return fmt.Errorf("serve: registering %s: %w", path, err)
+		}
+		registered++
+	}
+	if registered == 0 {
+		return fmt.Errorf("serve: no .tpas snapshots or edge lists found in %s", dir)
+	}
+	return nil
+}
+
+// classify maps a directory entry to a graph name and loader; unknown file
+// types return a nil loader and are skipped.
+func classify(path, base string, o tpa.Options) (string, server.Loader) {
+	name, ext := stem(base)
+	switch ext {
+	case ".tpas":
+		if strings.HasSuffix(base, ".gz") {
+			return "", nil // snapshots are binary; gzip variants are not supported
+		}
+		return name, snapshotLoader(path)
+	case ".tsv", ".txt", ".edges", ".el":
+		return name, edgeListLoader(path, o)
+	default:
+		return "", nil
+	}
 }

@@ -1,0 +1,272 @@
+// Package binio provides the byte-level plumbing shared by the binary
+// snapshot formats (graph CSR snapshots, TPA indexes, combined snapshots):
+// chunked little-endian encoding of scalar and slice fields with a running
+// CRC32-C, so multi-GB arrays stream through a fixed 64 KiB buffer without
+// per-element call overhead or double-buffering, and every format can end
+// with a cheap integrity footer.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrBadSnapshot is wrapped by every decode failure caused by the stream
+// itself — bad magic, unsupported version, truncation, structural
+// inconsistency, or checksum mismatch. Loaders return it typed (test with
+// errors.Is) and never partial state.
+var ErrBadSnapshot = errors.New("bad snapshot")
+
+// Errf builds an error wrapping ErrBadSnapshot.
+func Errf(format string, args ...interface{}) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadSnapshot)...)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const bufSize = 64 << 10
+
+// Writer encodes little-endian fields into w while hashing everything
+// written. The first error sticks; check Err (or Footer's return) once at
+// the end. Callers should hand it a buffered writer and flush afterwards.
+type Writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	buf []byte
+	err error
+}
+
+// NewWriter returns a Writer hashing with CRC32-C.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, crc: crc32.New(castagnoli), buf: make([]byte, bufSize)}
+}
+
+// Err returns the first write error, if any.
+func (e *Writer) Err() error { return e.err }
+
+func (e *Writer) flush(n int) {
+	if _, err := e.w.Write(e.buf[:n]); err != nil {
+		e.err = err
+		return
+	}
+	e.crc.Write(e.buf[:n])
+}
+
+// U32 writes one uint32.
+func (e *Writer) U32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.flush(4)
+}
+
+// U64 writes one uint64.
+func (e *Writer) U64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.flush(8)
+}
+
+// I64s writes a slice of int64 values.
+func (e *Writer) I64s(vals []int64) {
+	per := len(e.buf) / 8
+	for len(vals) > 0 && e.err == nil {
+		n := len(vals)
+		if n > per {
+			n = per
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(e.buf[i*8:], uint64(vals[i]))
+		}
+		e.flush(n * 8)
+		vals = vals[n:]
+	}
+}
+
+// I32s writes a slice of int32 values.
+func (e *Writer) I32s(vals []int32) {
+	per := len(e.buf) / 4
+	for len(vals) > 0 && e.err == nil {
+		n := len(vals)
+		if n > per {
+			n = per
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(e.buf[i*4:], uint32(vals[i]))
+		}
+		e.flush(n * 4)
+		vals = vals[n:]
+	}
+}
+
+// F64s writes a slice of float64 values (IEEE 754 bit patterns).
+func (e *Writer) F64s(vals []float64) {
+	per := len(e.buf) / 8
+	for len(vals) > 0 && e.err == nil {
+		n := len(vals)
+		if n > per {
+			n = per
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(e.buf[i*8:], math.Float64bits(vals[i]))
+		}
+		e.flush(n * 8)
+		vals = vals[n:]
+	}
+}
+
+// Footer writes the CRC32-C of everything written so far (the footer bytes
+// themselves are not hashed) and returns the first error of the whole
+// stream, so it doubles as the final error check.
+func (e *Writer) Footer() error {
+	if e.err != nil {
+		return e.err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], e.crc.Sum32())
+	if _, err := e.w.Write(foot[:]); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Reader decodes little-endian fields from r while hashing everything read.
+// Truncation surfaces as ErrBadSnapshot; other I/O errors pass through
+// unchanged. The first error sticks.
+type Reader struct {
+	r   io.Reader
+	crc hash.Hash32
+	buf []byte
+	err error
+}
+
+// NewReader returns a Reader hashing with CRC32-C. Hand it a buffered
+// reader when the snapshot is part of a larger sequential stream.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, crc: crc32.New(castagnoli), buf: make([]byte, bufSize)}
+}
+
+// Err returns the first read error, if any.
+func (d *Reader) Err() error { return d.err }
+
+func (d *Reader) fill(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:n]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			d.err = Errf("truncated snapshot")
+		} else {
+			d.err = err
+		}
+		return nil
+	}
+	d.crc.Write(d.buf[:n])
+	return d.buf[:n]
+}
+
+// U32 reads one uint32.
+func (d *Reader) U32() uint32 {
+	b := d.fill(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads one uint64.
+func (d *Reader) U64() uint64 {
+	b := d.fill(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64s fills dst with int64 values.
+func (d *Reader) I64s(dst []int64) {
+	per := len(d.buf) / 8
+	for len(dst) > 0 && d.err == nil {
+		n := len(dst)
+		if n > per {
+			n = per
+		}
+		b := d.fill(n * 8)
+		if b == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+// I32s fills dst with int32 values.
+func (d *Reader) I32s(dst []int32) {
+	per := len(d.buf) / 4
+	for len(dst) > 0 && d.err == nil {
+		n := len(dst)
+		if n > per {
+			n = per
+		}
+		b := d.fill(n * 4)
+		if b == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+// F64s fills dst with float64 values.
+func (d *Reader) F64s(dst []float64) {
+	per := len(d.buf) / 8
+	for len(dst) > 0 && d.err == nil {
+		n := len(dst)
+		if n > per {
+			n = per
+		}
+		b := d.fill(n * 8)
+		if b == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+// Footer reads the 4-byte CRC32-C footer (not hashed itself) and compares
+// it against the running checksum of everything read so far, returning
+// ErrBadSnapshot on mismatch or truncation.
+func (d *Reader) Footer() error {
+	if d.err != nil {
+		return d.err
+	}
+	sum := d.crc.Sum32()
+	var foot [4]byte
+	if _, err := io.ReadFull(d.r, foot[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			d.err = Errf("truncated snapshot (missing checksum)")
+		} else {
+			d.err = err
+		}
+		return d.err
+	}
+	if want := binary.LittleEndian.Uint32(foot[:]); want != sum {
+		d.err = Errf("snapshot checksum mismatch (stored %#x, computed %#x)", want, sum)
+	}
+	return d.err
+}

@@ -95,6 +95,9 @@ func TestQueryIntoMatchesQuery(t *testing.T) {
 // The pooled-scratch query path must not allocate per query beyond the
 // result it writes into the caller's vector.
 func TestQueryIntoAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	tp, _ := preprocessed(t, 54, DefaultParams())
 	dst := sparse.NewVector(tp.Walk().N())
 	// Warm the scratch pool.

@@ -2,80 +2,109 @@ package core
 
 import (
 	"bufio"
-	"encoding/binary"
-	"fmt"
 	"io"
 	"math"
 
+	"tpa/internal/binio"
 	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
-// indexMagic identifies a serialized TPA index ("TPAI" + version 1).
-const indexMagic = uint32(0x54504131)
+// Index serialization: the preprocessed TPA state (configuration, S/T and
+// the stranger vector), so the preprocessing phase can run once and its
+// result be shipped to query servers. The graph itself is not stored; the
+// loader must supply a walk over the same graph (see snapshot.go for the
+// combined graph+index container).
+//
+// Layout ("TPA2" version, all fields little-endian):
+//
+//	offset  size  field
+//	0       4     magic "TPA2"
+//	4       4     S (uint32)
+//	8       4     T (uint32)
+//	12      4     preprocessing iteration count (uint32)
+//	16      8     restart probability c (float64 bits)
+//	24      8     tolerance ε (float64 bits)
+//	32      8     n, the node count (uint64)
+//	40      8n    stranger vector (float64 bits each)
+//	…       4     CRC32-C of every preceding byte
+//
+// The predecessor format "TPA1" (identical minus the checksum footer) is
+// still readable for indexes written by older builds.
 
-// WriteIndex serializes the preprocessed TPA state (configuration, S/T and
-// the stranger vector) so the preprocessing phase can be run once and its
-// result shipped to query servers. The graph itself is not stored; the
-// loader must supply a walk over the same graph.
+// ErrBadSnapshot is wrapped by every index/snapshot decode failure caused
+// by the stream itself; see binio.ErrBadSnapshot. Test with errors.Is.
+var ErrBadSnapshot = binio.ErrBadSnapshot
+
+const (
+	indexMagicV1 = uint32(0x54504131) // legacy, no checksum footer
+	indexMagic   = uint32(0x54504132) // current ("TPA2" semantics)
+)
+
+// WriteIndex serializes the preprocessed TPA state with an integrity
+// footer. The stream is buffered internally.
 func (t *TPA) WriteIndex(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	hdr := []interface{}{
-		indexMagic,
-		uint32(t.params.S),
-		uint32(t.params.T),
-		uint32(t.preIters),
-		math.Float64bits(t.cfg.C),
-		math.Float64bits(t.cfg.Eps),
-		uint64(len(t.stranger)),
-	}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return fmt.Errorf("core: writing index header: %w", err)
-		}
-	}
-	for _, x := range t.stranger {
-		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(x)); err != nil {
-			return fmt.Errorf("core: writing index payload: %w", err)
-		}
+	e := binio.NewWriter(bw)
+	e.U32(indexMagic)
+	e.U32(uint32(t.params.S))
+	e.U32(uint32(t.params.T))
+	e.U32(uint32(t.preIters))
+	e.U64(math.Float64bits(t.cfg.C))
+	e.U64(math.Float64bits(t.cfg.Eps))
+	e.U64(uint64(len(t.stranger)))
+	e.F64s(t.stranger)
+	if err := e.Footer(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // ReadIndex deserializes a TPA index previously written by WriteIndex and
-// binds it to the provided walk operator. It fails if the stored vector
-// length does not match the graph.
+// binds it to the provided walk operator. Any mismatch — magic, checksum,
+// invalid configuration, or a stored vector length that disagrees with the
+// graph — wraps ErrBadSnapshot and returns no partial state.
+//
+// When r is already a *bufio.Reader it is used directly (no over-reading),
+// so an index can be embedded in a larger sequential stream.
 func ReadIndex(r io.Reader, w rwr.Operator) (*TPA, error) {
-	br := bufio.NewReader(r)
-	var magic, s, tt, preIters uint32
-	var cBits, epsBits uint64
-	var n uint64
-	for _, v := range []interface{}{&magic, &s, &tt, &preIters, &cBits, &epsBits, &n} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("core: reading index header: %w", err)
-		}
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
 	}
-	if magic != indexMagic {
-		return nil, fmt.Errorf("core: bad index magic %#x", magic)
+	d := binio.NewReader(br)
+	magic := d.U32()
+	s := d.U32()
+	tt := d.U32()
+	preIters := d.U32()
+	cBits := d.U64()
+	epsBits := d.U64()
+	n := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if magic != indexMagic && magic != indexMagicV1 {
+		return nil, binio.Errf("core: index has bad magic %#x", magic)
 	}
 	if int(n) != w.N() {
-		return nil, fmt.Errorf("core: index has %d nodes but graph has %d", n, w.N())
+		return nil, binio.Errf("core: index has %d nodes but graph has %d", n, w.N())
 	}
 	cfg := rwr.Config{C: math.Float64frombits(cBits), Eps: math.Float64frombits(epsBits)}
 	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("core: index config invalid: %w", err)
+		return nil, binio.Errf("core: index config invalid: %v", err)
 	}
 	params := Params{S: int(s), T: int(tt)}
 	if err := params.Validate(); err != nil {
-		return nil, fmt.Errorf("core: index params invalid: %w", err)
+		return nil, binio.Errf("core: index params invalid: %v", err)
 	}
 	vec := sparse.NewVector(int(n))
-	for i := range vec {
-		var bits uint64
-		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-			return nil, fmt.Errorf("core: reading index payload at %d: %w", i, err)
+	d.F64s(vec)
+	if magic == indexMagic {
+		if err := d.Footer(); err != nil {
+			return nil, err
 		}
-		vec[i] = math.Float64frombits(bits)
+	} else if err := d.Err(); err != nil {
+		return nil, err
 	}
 	return &TPA{walk: w, cfg: cfg, params: params, stranger: vec, preIters: int(preIters)}, nil
 }

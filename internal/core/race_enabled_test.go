@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose runtime allocates internally and breaks
+// allocation-count assertions.
+const raceEnabled = true

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tpa/internal/binio"
+	"tpa/internal/graph"
+)
+
+// Combined snapshot: one self-describing container holding the binary CSR
+// graph and the TPA index back to back, so a query server cold-starts with
+// two sequential reads — no edge-list parsing and no re-preprocessing.
+//
+// Layout ("TPAS" version 1, all fields little-endian):
+//
+//	offset  size  field
+//	0       4     magic "TPAS"
+//	4       4     format version (1)
+//	8       4     dangling-node policy (uint32, graph.DanglingPolicy)
+//	12      4     CRC32-C of the 12 header bytes
+//	16      …     graph section (the "TPAG" codec, own checksum)
+//	…       …     index section (the "TPA2" codec, own checksum)
+//
+// Each section carries its own CRC32-C footer, so corruption is localized
+// and every decode failure wraps ErrBadSnapshot.
+
+const (
+	snapMagic   = uint32(0x53415054) // "TPAS" on the wire (little-endian)
+	snapVersion = uint32(1)
+)
+
+// WriteSnapshot writes the combined graph+index snapshot for t. It fails
+// for streaming engines: the walk must be an in-memory *graph.Walk so the
+// adjacency arrays are available to serialize.
+func WriteSnapshot(w io.Writer, t *TPA) error {
+	gw, ok := t.walk.(*graph.Walk)
+	if !ok {
+		return fmt.Errorf("core: snapshot requires an in-memory graph operator (got %T)", t.walk)
+	}
+	bw := bufio.NewWriter(w)
+	e := binio.NewWriter(bw)
+	e.U32(snapMagic)
+	e.U32(snapVersion)
+	e.U32(uint32(gw.Policy()))
+	if err := e.Footer(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(w, gw.Graph()); err != nil {
+		return err
+	}
+	return t.WriteIndex(w)
+}
+
+// ReadSnapshot decodes a combined snapshot written by WriteSnapshot and
+// returns the reconstructed walk operator and the bound TPA state. Decode
+// failures wrap ErrBadSnapshot and return no partial state.
+func ReadSnapshot(r io.Reader) (*graph.Walk, *TPA, error) {
+	return ReadSnapshotBounded(r, -1)
+}
+
+// ReadSnapshotBounded is ReadSnapshot for streams whose total size is
+// known (e.g. a file): the graph section's header length fields are
+// checked against maxBytes before anything is allocated, so a crafted or
+// corrupt header cannot drive a giant allocation. maxBytes < 0 means
+// unknown. (The index section needs no bound: its node count is
+// cross-checked against the decoded graph before its payload is read.)
+func ReadSnapshotBounded(r io.Reader, maxBytes int64) (*graph.Walk, *TPA, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	d := binio.NewReader(br)
+	magic := d.U32()
+	version := d.U32()
+	policy := d.U32()
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	if magic != snapMagic {
+		return nil, nil, binio.Errf("core: snapshot has bad magic %#x", magic)
+	}
+	if version != snapVersion {
+		return nil, nil, binio.Errf("core: snapshot version %d unsupported (want %d)", version, snapVersion)
+	}
+	if policy > uint32(graph.DanglingUniform) {
+		return nil, nil, binio.Errf("core: snapshot has unknown dangling policy %d", policy)
+	}
+	if err := d.Footer(); err != nil {
+		return nil, nil, err
+	}
+	g, err := graph.ReadBinaryBounded(br, maxBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := graph.NewWalk(g, graph.DanglingPolicy(policy))
+	t, err := ReadIndex(br, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, t, nil
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"tpa/internal/binio"
+)
+
+// Binary snapshot codec: a compact little-endian serialization of the CSR
+// out-adjacency, so a preprocessed graph cold-starts with a handful of
+// sequential reads instead of re-parsing a text edge list. Only the CSR half
+// is stored — the CSC mirror is rebuilt with one counting pass on load,
+// halving the file size at O(n+m) extra load cost.
+//
+// Layout ("TPAG" version 1, all fields little-endian):
+//
+//	offset  size       field
+//	0       4          magic "TPAG"
+//	4       4          format version (1)
+//	8       8          n, the node count (uint64)
+//	16      8          m, the edge count (uint64)
+//	24      8(n+1)     outPtr: CSR row pointers (int64)
+//	…       4m         outIdx: CSR column indices (int32)
+//	…       4          CRC32-C of every preceding byte
+//
+// Readers verify magic, version, structural invariants (monotone pointers,
+// in-range indices, sorted adjacency) and the checksum; any failure yields
+// an error wrapping ErrBadSnapshot and no partial graph.
+
+// ErrBadSnapshot is wrapped by every snapshot decode failure caused by the
+// stream itself — bad magic, unsupported version, truncation, structural
+// inconsistency, or checksum mismatch. Test with errors.Is.
+var ErrBadSnapshot = binio.ErrBadSnapshot
+
+const (
+	graphMagic   = uint32(0x47415054) // "TPAG" on the wire (little-endian)
+	graphVersion = uint32(1)
+
+	// maxSnapshotEdges caps the edge count a snapshot header may claim, so
+	// a corrupt length field fails cleanly instead of attempting an absurd
+	// allocation before the checksum is ever reached.
+	maxSnapshotEdges = uint64(1) << 36
+
+	snapBufSize = 1 << 20
+)
+
+// WriteBinary writes g to w in the binary snapshot format. The stream is
+// buffered internally, so w can be a bare *os.File; the graph is never
+// materialized a second time in memory.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, snapBufSize)
+	e := binio.NewWriter(bw)
+	e.U32(graphMagic)
+	e.U32(graphVersion)
+	e.U64(uint64(g.n))
+	e.U64(uint64(len(g.outIdx)))
+	e.I64s(g.outPtr)
+	e.I32s(g.outIdx)
+	if err := e.Footer(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a graph written by WriteBinary, verifying the header,
+// the CRC32-C footer and the structural invariants before rebuilding the
+// CSC mirror. Decode failures wrap ErrBadSnapshot and return no graph.
+//
+// When r is already a *bufio.Reader it is used directly (no over-reading
+// past the snapshot), so snapshots compose into larger sequential streams.
+func ReadBinary(r io.Reader) (*Graph, error) { return ReadBinaryBounded(r, -1) }
+
+// ReadBinaryBounded is ReadBinary for streams whose total size is known
+// (e.g. a file): header length fields claiming more payload than maxBytes
+// could possibly hold are rejected before anything is allocated, so a
+// crafted or corrupt header cannot drive a giant allocation. maxBytes < 0
+// means unknown (only the generic sanity caps apply).
+func ReadBinaryBounded(r io.Reader, maxBytes int64) (*Graph, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, snapBufSize)
+	}
+	d := binio.NewReader(br)
+	magic := d.U32()
+	version := d.U32()
+	n64 := d.U64()
+	m64 := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if magic != graphMagic {
+		return nil, binio.Errf("graph: snapshot has bad magic %#x", magic)
+	}
+	if version != graphVersion {
+		return nil, binio.Errf("graph: snapshot version %d unsupported (want %d)", version, graphVersion)
+	}
+	if n64 > uint64(MaxNodeID)+1 {
+		return nil, binio.Errf("graph: snapshot claims %d nodes (max %d)", n64, MaxNodeID+1)
+	}
+	if m64 > maxSnapshotEdges {
+		return nil, binio.Errf("graph: snapshot claims %d edges (max %d)", m64, maxSnapshotEdges)
+	}
+	if maxBytes >= 0 {
+		// Overflow-safe: compare against the payload bytes each array would
+		// need rather than multiplying the untrusted counts.
+		mb := uint64(maxBytes)
+		if n64 > mb/8 || m64 > mb/4 {
+			return nil, binio.Errf("graph: snapshot claims %d nodes / %d edges but the stream holds only %d bytes",
+				n64, m64, maxBytes)
+		}
+	}
+	n, m := int(n64), int(m64)
+	g := &Graph{
+		n:      n,
+		outPtr: make([]int64, n+1),
+	}
+	d.I64s(g.outPtr)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Validate the row pointers before allocating 4m bytes for the column
+	// indices: a corrupt edge-count field has to survive this cross-check
+	// against n+1 actually-delivered pointer values before it can drive a
+	// large allocation.
+	if err := checkPtrs(n, int64(m), g.outPtr); err != nil {
+		return nil, err
+	}
+	g.outIdx = make([]int32, m)
+	d.I32s(g.outIdx)
+	if err := d.Footer(); err != nil {
+		return nil, err
+	}
+	if err := checkNeighbors(n, g.outPtr, g.outIdx); err != nil {
+		return nil, err
+	}
+	g.buildCSC()
+	return g, nil
+}
+
+// checkPtrs validates the decoded row pointers: starting at 0, monotone,
+// ending at m. Together these bound every ptr[u] within [0, m], so the
+// per-row slicing in checkNeighbors and buildCSC cannot go out of range.
+func checkPtrs(n int, m int64, ptr []int64) error {
+	if ptr[0] != 0 {
+		return binio.Errf("graph: snapshot row pointers start at %d, want 0", ptr[0])
+	}
+	for u := 0; u < n; u++ {
+		if ptr[u+1] < ptr[u] {
+			return binio.Errf("graph: snapshot row pointer %d not monotone", u+1)
+		}
+	}
+	if ptr[n] != m {
+		return binio.Errf("graph: snapshot row pointers end at %d but %d edges stored", ptr[n], m)
+	}
+	return nil
+}
+
+// checkNeighbors validates the decoded column indices: in range and sorted
+// (possibly duplicated) within each adjacency row.
+func checkNeighbors(n int, ptr []int64, idx []int32) error {
+	for u := 0; u < n; u++ {
+		prev := int32(-1)
+		for _, v := range idx[ptr[u]:ptr[u+1]] {
+			if v < 0 || int(v) >= n {
+				return binio.Errf("graph: snapshot neighbor %d of node %d out of range [0,%d)", v, u, n)
+			}
+			if v < prev {
+				return binio.Errf("graph: snapshot neighbors of node %d not sorted", u)
+			}
+			prev = v
+		}
+	}
+	return nil
+}
+
+// buildCSC derives the in-adjacency mirror from the CSR arrays with one
+// counting pass. Iterating sources in ascending order keeps every in-list
+// sorted, matching what Builder produces.
+func (g *Graph) buildCSC() {
+	n := g.n
+	g.inPtr = make([]int64, n+1)
+	g.inIdx = make([]int32, len(g.outIdx))
+	for _, v := range g.outIdx {
+		g.inPtr[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.inPtr[i+1] += g.inPtr[i]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.inPtr[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range g.outIdx[g.outPtr[u]:g.outPtr[u+1]] {
+			g.inIdx[cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+}
+
+// SaveBinaryFile writes g to path in the binary snapshot format. The write
+// goes to a temporary file renamed into place on success, so an
+// interrupted save never leaves a truncated snapshot behind.
+func SaveBinaryFile(path string, g *Graph) error {
+	return writeFileAtomic(path, func(f *os.File) error { return WriteBinary(f, g) })
+}
+
+// writeFileAtomic runs write against path+".tmp" and renames the result
+// into place, removing the temporary on any failure.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadBinaryFile reads a graph snapshot written by SaveBinaryFile. The
+// file size bounds the header's length fields (see ReadBinaryBounded).
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return ReadBinaryBounded(f, st.Size())
+}

@@ -1,0 +1,196 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"tpa/internal/binio"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+// encodeGraph is a test helper returning the binary snapshot bytes of g.
+func encodeGraph(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRoundTripSBM is the codec's property test: random SBM graphs of
+// varying shape must decode to a deep-equal structure (CSR and the rebuilt
+// CSC both identical).
+func TestBinaryRoundTripSBM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		nodes := 50 + rng.Intn(950)
+		comms := 1 + rng.Intn(8)
+		deg := 1 + rng.Float64()*9
+		pin := 0.3 + rng.Float64()*0.65
+		g := gen.SBM(gen.SBMConfig{
+			Nodes: nodes, Communities: comms, AvgOutDeg: deg,
+			PIn: pin, Seed: rng.Int63(), Uniform: true,
+		})
+		got, err := graph.ReadBinary(bytes.NewReader(encodeGraph(t, g)))
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): ReadBinary: %v", trial, nodes, err)
+		}
+		if !reflect.DeepEqual(g, got) {
+			t.Fatalf("trial %d (n=%d): decoded graph differs from original", trial, nodes)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: decoded graph invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestBinaryRoundTripEdgeCases(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"empty":     graph.FromEdges(0, nil),
+		"no-edges":  graph.FromEdges(5, nil),
+		"self-loop": graph.FromEdges(1, [][2]int{{0, 0}}),
+		"dangling":  graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {2, 1}}),
+	}
+	for name, g := range cases {
+		got, err := graph.ReadBinary(bytes.NewReader(encodeGraph(t, g)))
+		if err != nil {
+			t.Fatalf("%s: ReadBinary: %v", name, err)
+		}
+		if !reflect.DeepEqual(g, got) {
+			t.Fatalf("%s: decoded graph differs from original", name)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := gen.SBM(gen.SBMConfig{Nodes: 300, Communities: 3, AvgOutDeg: 6, PIn: 0.8, Seed: 7, Uniform: true})
+	path := filepath.Join(t.TempDir(), "g.tpag")
+	if err := graph.SaveBinaryFile(path, g); err != nil {
+		t.Fatalf("SaveBinaryFile: %v", err)
+	}
+	got, err := graph.LoadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("LoadBinaryFile: %v", err)
+	}
+	if !reflect.DeepEqual(g, got) {
+		t.Fatal("decoded graph differs from original")
+	}
+}
+
+// TestBoundedLoadRejectsLyingHeader crafts a tiny file whose header
+// claims 2^35 edges with internally consistent row pointers: the file-size
+// bound must reject it before the 128 GiB allocation is ever attempted.
+func TestBoundedLoadRejectsLyingHeader(t *testing.T) {
+	var buf bytes.Buffer
+	e := binio.NewWriter(&buf)
+	e.U32(0x47415054) // "TPAG"
+	e.U32(1)
+	e.U64(1)       // n = 1
+	e.U64(1 << 35) // m = 34 billion edges, in a 44-byte file
+	e.I64s([]int64{0, 1 << 35})
+	if err := e.Footer(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lying.tpag")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.LoadBinaryFile(path); !errors.Is(err, graph.ErrBadSnapshot) {
+		t.Fatalf("lying header: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestBinaryCorruption checks that every way of damaging a snapshot —
+// truncation at any prefix, bad magic, bad version, flipped payload bytes,
+// an absurd length field — yields a typed ErrBadSnapshot and no graph.
+func TestBinaryCorruption(t *testing.T) {
+	g := gen.SBM(gen.SBMConfig{Nodes: 200, Communities: 4, AvgOutDeg: 5, PIn: 0.9, Seed: 3, Uniform: true})
+	blob := encodeGraph(t, g)
+
+	mustFail := func(t *testing.T, name string, data []byte) {
+		t.Helper()
+		got, err := graph.ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: decode succeeded on corrupt input", name)
+		}
+		if !errors.Is(err, graph.ErrBadSnapshot) {
+			t.Fatalf("%s: error %v does not wrap ErrBadSnapshot", name, err)
+		}
+		if got != nil {
+			t.Fatalf("%s: partial graph returned alongside error", name)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 3, 8, 23, 24, len(blob) / 2, len(blob) - 1} {
+			mustFail(t, "cut@"+strconv.Itoa(cut), blob[:cut])
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] ^= 0xFF
+		mustFail(t, "magic", bad)
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint32(bad[4:], 99)
+		mustFail(t, "version", bad)
+	})
+	t.Run("flipped-payload", func(t *testing.T) {
+		for _, off := range []int{24, 40, len(blob) - 8} {
+			bad := append([]byte(nil), blob...)
+			bad[off] ^= 0x01
+			mustFail(t, "flip@"+strconv.Itoa(off), bad)
+		}
+	})
+	t.Run("absurd-edge-count", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(bad[16:], 1<<60)
+		mustFail(t, "edges", bad)
+	})
+	t.Run("absurd-node-count", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(bad[8:], 1<<62)
+		mustFail(t, "nodes", bad)
+	})
+
+	// Structurally inconsistent snapshots with a VALID checksum (a buggy or
+	// hostile producer, not bit rot) must fail typed, never panic.
+	t.Run("valid-crc-bad-structure", func(t *testing.T) {
+		cases := map[string]struct {
+			ptr []int64
+			idx []int32
+		}{
+			"pointer-spike":   {ptr: []int64{0, 100, 5}, idx: []int32{0, 1, 0, 1, 0}},
+			"non-monotone":    {ptr: []int64{0, 4, 2, 5}, idx: []int32{0, 1, 2, 0, 1}},
+			"bad-start":       {ptr: []int64{1, 2, 3}, idx: []int32{0, 1}},
+			"bad-end":         {ptr: []int64{0, 1, 3}, idx: []int32{0, 1}},
+			"out-of-range":    {ptr: []int64{0, 1, 2}, idx: []int32{0, 9}},
+			"unsorted-row":    {ptr: []int64{0, 2, 2}, idx: []int32{1, 0}},
+			"negative-column": {ptr: []int64{0, 1, 2}, idx: []int32{0, -1}},
+		}
+		for name, c := range cases {
+			var buf bytes.Buffer
+			e := binio.NewWriter(&buf)
+			e.U32(0x47415054) // "TPAG"
+			e.U32(1)
+			e.U64(uint64(len(c.ptr) - 1))
+			e.U64(uint64(len(c.idx)))
+			e.I64s(c.ptr)
+			e.I32s(c.idx)
+			if err := e.Footer(); err != nil {
+				t.Fatal(err)
+			}
+			mustFail(t, name, buf.Bytes())
+		}
+	})
+}

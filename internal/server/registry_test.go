@@ -1,0 +1,335 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpa"
+)
+
+func buildEngine(t testing.TB, nodes int, seed int64) (*tpa.Engine, Info) {
+	t.Helper()
+	g := tpa.RandomCommunityGraph(nodes, int64(nodes)*8, 4, seed)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: fmt.Sprintf("seed-%d", seed)}
+}
+
+func testRegistry(t *testing.T) *Handler {
+	t.Helper()
+	h := NewRegistry(Options{CacheSize: 16, Workers: 2})
+	engA, infoA := buildEngine(t, 150, 1)
+	engB, infoB := buildEngine(t, 250, 2)
+	if err := h.Register("alpha", engA, infoA); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("beta", engB, infoB); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRegistryList(t *testing.T) {
+	h := testRegistry(t)
+	rec, body := get(t, h, "/graphs")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if int(body["count"].(float64)) != 2 {
+		t.Fatalf("count = %v", body["count"])
+	}
+	graphs := body["graphs"].([]interface{})
+	first := graphs[0].(map[string]interface{})
+	if first["name"].(string) != "alpha" {
+		t.Errorf("listing not sorted: %v", first["name"])
+	}
+	if first["nodes"].(float64) != 150 {
+		t.Errorf("alpha nodes = %v", first["nodes"])
+	}
+	if first["reloadable"].(bool) {
+		t.Error("fixed-engine graph claims to be reloadable")
+	}
+}
+
+func TestRegistryNamedRoutes(t *testing.T) {
+	h := testRegistry(t)
+	// Each named graph answers with its own engine (different node counts
+	// show up as different score-vector lengths via out-of-range checks).
+	rec, _ := get(t, h, "/graphs/alpha/topk?seed=5&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("alpha topk: %d", rec.Code)
+	}
+	rec, _ = get(t, h, "/graphs/alpha/score?seed=5&node=200")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("alpha node 200 should be out of range: %d", rec.Code)
+	}
+	rec, _ = get(t, h, "/graphs/beta/score?seed=5&node=200")
+	if rec.Code != http.StatusOK {
+		t.Errorf("beta node 200 in range: %d", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/beta/batch", `{"seeds":[1,2],"k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Errorf("beta batch: %d", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/beta/queryset", `{"seeds":[1,2],"k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Errorf("beta queryset: %d", rec.Code)
+	}
+	// Unknown graphs 404; without SetDefault the bare routes 404 too.
+	rec, _ = get(t, h, "/graphs/nope/topk?seed=1")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown graph: %d, want 404", rec.Code)
+	}
+	rec, _ = get(t, h, "/topk?seed=1")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("bare route without default: %d, want 404", rec.Code)
+	}
+}
+
+func TestRegistryDefault(t *testing.T) {
+	h := testRegistry(t)
+	if err := h.SetDefault("beta"); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := get(t, h, "/topk?seed=1&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bare route with default: %d", rec.Code)
+	}
+	if err := h.SetDefault("nope"); err == nil {
+		t.Error("SetDefault accepted unknown graph")
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	h := testRegistry(t)
+	eng, info := buildEngine(t, 50, 3)
+	if err := h.Register("alpha", eng, info); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	for _, bad := range []string{"", "a/b", "a b", "café"} {
+		if err := h.Register(bad, eng, info); err == nil {
+			t.Errorf("invalid name %q accepted", bad)
+		}
+	}
+}
+
+func TestRegistryPerGraphStats(t *testing.T) {
+	h := testRegistry(t)
+	get(t, h, "/graphs/alpha/topk?seed=1&k=2")
+	get(t, h, "/graphs/alpha/topk?seed=1&k=2") // cache hit
+	rec, body := get(t, h, "/graphs/alpha/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if body["queries"].(float64) != 2 {
+		t.Errorf("queries = %v, want 2", body["queries"])
+	}
+	cache := body["cache"].(map[string]interface{})
+	if cache["hits"].(float64) != 1 {
+		t.Errorf("cache hits = %v, want 1", cache["hits"])
+	}
+	// beta's cache partition is untouched: partitions are per graph.
+	_, body = get(t, h, "/graphs/beta/stats")
+	if hits := body["cache"].(map[string]interface{})["hits"].(float64); hits != 0 {
+		t.Errorf("beta cache hits = %v, want 0", hits)
+	}
+}
+
+func TestReloadSwapsEngineAndCache(t *testing.T) {
+	var generation atomic.Int64
+	loader := func() (Engine, Info, error) {
+		gen := generation.Add(1)
+		// Each generation is a different graph size, so the swap is
+		// observable through the API.
+		nodes := 100 * int(gen)
+		g := tpa.RandomSBMGraph(nodes, 2, 4, 0.9, gen)
+		eng, err := tpa.New(g, tpa.Defaults())
+		if err != nil {
+			return nil, Info{}, err
+		}
+		return eng, Info{Nodes: nodes, Edges: g.NumEdges(), Name: "gen"}, nil
+	}
+	h := NewRegistry(Options{CacheSize: 8})
+	if err := h.RegisterLoader("live", loader); err != nil {
+		t.Fatal(err)
+	}
+	// Generation 1: 100 nodes, so node 150 is out of range. Warm the cache.
+	get(t, h, "/graphs/live/topk?seed=1&k=2")
+	rec, _ := get(t, h, "/graphs/live/score?seed=1&node=150")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("gen1 node 150: %d, want 422", rec.Code)
+	}
+	rec, body := postJSON(t, h, "/graphs/live/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d (%v)", rec.Code, body)
+	}
+	if body["nodes"].(float64) != 200 {
+		t.Errorf("reload nodes = %v, want 200", body["nodes"])
+	}
+	// Generation 2: 200 nodes, node 150 now resolves.
+	rec, _ = get(t, h, "/graphs/live/score?seed=1&node=150")
+	if rec.Code != http.StatusOK {
+		t.Errorf("gen2 node 150: %d, want 200", rec.Code)
+	}
+	// The cache partition was replaced with the engine.
+	_, stats := get(t, h, "/graphs/live/stats")
+	if entries := stats["cache"].(map[string]interface{})["entries"].(float64); entries != 0 {
+		t.Errorf("cache entries = %v after reload, want 0", entries)
+	}
+	if stats["reloads"].(float64) != 1 {
+		t.Errorf("reloads = %v, want 1", stats["reloads"])
+	}
+}
+
+func TestReloadErrors(t *testing.T) {
+	h := testRegistry(t)
+	// Fixed-engine graphs cannot reload.
+	rec, _ := postJSON(t, h, "/graphs/alpha/reload", "")
+	if rec.Code != http.StatusConflict {
+		t.Errorf("fixed engine reload: %d, want 409", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/nope/reload", "")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown graph reload: %d, want 404", rec.Code)
+	}
+	// A failing loader leaves the old engine serving.
+	calls := 0
+	loader := func() (Engine, Info, error) {
+		calls++
+		if calls > 1 {
+			return nil, Info{}, fmt.Errorf("synthetic failure")
+		}
+		eng, info := buildEngine(t, 80, 9)
+		return eng, info, nil
+	}
+	if err := h.RegisterLoader("flaky", loader); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = postJSON(t, h, "/graphs/flaky/reload", "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("failing reload: %d, want 500", rec.Code)
+	}
+	rec, _ = get(t, h, "/graphs/flaky/topk?seed=1&k=2")
+	if rec.Code != http.StatusOK {
+		t.Errorf("graph dead after failed reload: %d", rec.Code)
+	}
+}
+
+// TestReloadUnderFire hammers a graph with concurrent queries while
+// reloading it repeatedly: every query must succeed against either the old
+// or the new engine — the atomic swap drops nothing. Run with -race this
+// also proves the swap is data-race free.
+func TestReloadUnderFire(t *testing.T) {
+	var generation atomic.Int64
+	loader := func() (Engine, Info, error) {
+		gen := generation.Add(1)
+		g := tpa.RandomSBMGraph(120, 3, 5, 0.9, gen)
+		eng, err := tpa.New(g, tpa.Defaults())
+		if err != nil {
+			return nil, Info{}, err
+		}
+		return eng, Info{Nodes: 120, Edges: g.NumEdges(), Name: "fire"}, nil
+	}
+	h := NewRegistry(Options{CacheSize: 32, Workers: 2})
+	if err := h.RegisterLoader("fire", loader); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seed := (c*13 + i) % 120
+				var rec *httptest.ResponseRecorder
+				if i%3 == 0 {
+					rec, _ = postJSON(t, h, "/graphs/fire/batch",
+						fmt.Sprintf(`{"seeds":[%d,%d],"k":3}`, seed, (seed+7)%120))
+				} else {
+					rec, _ = get(t, h, fmt.Sprintf("/graphs/fire/topk?seed=%d&k=3", seed))
+				}
+				if rec.Code != http.StatusOK {
+					t.Errorf("query during reload: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < 5; i++ {
+		// Require query traffic between swaps, so every generation provably
+		// serves while the next reload races it.
+		target := served.Load() + int64(clients)
+		for served.Load() < target {
+			if time.Now().After(deadline) {
+				t.Fatal("clients stopped serving during the reload storm")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rec, body := postJSON(t, h, "/graphs/fire/reload", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reload %d: %d (%v)", i, rec.Code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the reload storm")
+	}
+	_, stats := get(t, h, "/graphs/fire/stats")
+	if stats["reloads"].(float64) != 5 {
+		t.Errorf("reloads = %v, want 5", stats["reloads"])
+	}
+}
+
+// TestConcurrentReloadRejected pins a reload in progress and checks a
+// second one is turned away with 409 instead of racing the first.
+func TestConcurrentReloadRejected(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	loader := func() (Engine, Info, error) {
+		if !first {
+			entered <- struct{}{}
+			<-release
+		}
+		first = false
+		eng, info := buildEngine(t, 60, 21)
+		return eng, info, nil
+	}
+	h := NewRegistry(Options{})
+	if err := h.RegisterLoader("slow", loader); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		rec, _ := postJSON(t, h, "/graphs/slow/reload", "")
+		done <- rec.Code
+	}()
+	<-entered // first reload is now blocked inside the loader
+	rec, _ := postJSON(t, h, "/graphs/slow/reload", "")
+	if rec.Code != http.StatusConflict {
+		t.Errorf("concurrent reload: %d, want 409", rec.Code)
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("first reload: %d", code)
+	}
+}

@@ -1,15 +1,23 @@
-// Package server provides the HTTP query service in front of a TPA engine
+// Package server provides the HTTP query service in front of TPA engines
 // (cmd/tpad): JSON endpoints for top-k queries, single scores, multi-seed
 // personalized PageRank, batched top-k, and introspection. It is the "query
 // server" deployment shape the paper's preprocessing/online split is
 // designed for — preprocess once, ship the O(n) index, answer seeds cheaply.
 //
+// A Handler is a registry of named graphs. Each graph serves under
+// /graphs/{name}/…; one graph may additionally be nominated the default and
+// answer the bare single-graph routes (/topk, /batch, …) for compatibility.
+// Every graph's serving state — engine, metadata, and its partition of the
+// LRU top-k cache — lives behind an atomic pointer, so POST
+// /graphs/{name}/reload hot-swaps a rebuilt engine with zero dropped
+// in-flight queries and no stale cache entries.
+//
 // The production serving features are opt-in through Options: a bounded LRU
-// cache of top-k answers (the engine is immutable, so entries never expire),
-// a worker pool fanning POST /batch out across the engine's concurrent query
-// path, a request-concurrency limit that sheds load with 503 instead of
-// queueing unboundedly, and per-endpoint latency / cache hit-rate counters
-// exposed on GET /stats.
+// cache of top-k answers partitioned per graph, a worker pool fanning
+// POST /batch out across the engine's concurrent query path, a
+// request-concurrency limit that sheds load with 503 instead of queueing
+// unboundedly, and per-endpoint latency / cache hit-rate counters exposed
+// on GET /stats.
 package server
 
 import (
@@ -18,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,7 +45,7 @@ type Engine interface {
 	ErrorBound() float64
 }
 
-// Info describes the served graph for the /stats endpoint.
+// Info describes a served graph for the /stats and /graphs endpoints.
 type Info struct {
 	Nodes int    `json:"nodes"`
 	Edges int64  `json:"edges"`
@@ -48,63 +57,85 @@ type Options struct {
 	// Workers is the fan-out of POST /batch over the engine's worker pool.
 	// 0 means GOMAXPROCS.
 	Workers int
-	// CacheSize bounds the LRU top-k result cache in entries; 0 disables
-	// caching.
+	// CacheSize bounds each graph's partition of the LRU top-k result
+	// cache, in entries; 0 disables caching. A reload replaces the graph's
+	// partition along with its engine, so stale answers never survive a
+	// swap.
 	CacheSize int
-	// MaxInFlight caps concurrently executing query requests; excess
-	// requests are shed with 503 Service Unavailable. 0 means unlimited.
-	// /healthz and /stats are never limited.
+	// MaxInFlight caps concurrently executing query requests across all
+	// graphs; excess requests are shed with 503 Service Unavailable. 0
+	// means unlimited. /healthz, /stats, /graphs and reloads are never
+	// limited.
 	MaxInFlight int
 	// MaxBatch rejects /batch and /queryset requests carrying more seeds
 	// with 413. 0 means unlimited.
 	MaxBatch int
 }
 
-// DefaultOptions returns the serving defaults: a 4096-entry cache and a
-// 256-request concurrency limit.
+// DefaultOptions returns the serving defaults: a 4096-entry cache per
+// graph and a 256-request concurrency limit.
 func DefaultOptions() Options {
 	return Options{CacheSize: 4096, MaxInFlight: 256}
 }
 
-// Handler serves the TPA query API:
+// Handler serves the TPA query API over a registry of named graphs:
 //
-//	GET  /topk?seed=42&k=10       → {"seed":42,"results":[{"node":..,"score":..},...]}
-//	GET  /score?seed=42&node=7    → {"seed":42,"node":7,"score":0.0123}
-//	POST /batch     {"seeds":[1,2,3],"k":10}   → one top-k result per seed
-//	POST /queryset  {"seeds":[1,2],"k":10}     → top-k of the multi-seed RWR
-//	GET  /stats                   → graph/engine metadata + serving counters
+//	GET  /topk?seed=42&k=10       → default graph (see SetDefault)
+//	GET  /score?seed=42&node=7
+//	POST /batch     {"seeds":[1,2,3],"k":10}
+//	POST /queryset  {"seeds":[1,2],"k":10}
+//	GET  /graphs                  → registry listing
+//	GET  /graphs/{name}/topk      (same contract as the bare routes)
+//	GET  /graphs/{name}/score
+//	POST /graphs/{name}/batch
+//	POST /graphs/{name}/queryset
+//	GET  /graphs/{name}/stats     → per-graph metadata + counters
+//	POST /graphs/{name}/reload    → rebuild + atomically swap the engine
+//	GET  /stats                   → global serving counters
 //	GET  /healthz                 → 200 ok
 //
 // See docs/API.md for request/response details.
 type Handler struct {
-	eng  Engine
-	info Info
 	opts Options
 	mux  *http.ServeMux
 
-	cache     *topkCache    // nil when Options.CacheSize == 0
 	sem       chan struct{} // nil when Options.MaxInFlight == 0
 	inFlight  atomic.Int64
 	endpoints map[string]*endpointStats
+
+	mu           sync.RWMutex
+	graphs       map[string]*graphEntry
+	defaultEntry *graphEntry
 }
 
-// New builds a handler with DefaultOptions.
+// New builds a single-graph handler with DefaultOptions; eng serves both
+// the bare routes and /graphs/default/….
 func New(eng Engine, info Info) *Handler { return NewWith(eng, info, DefaultOptions()) }
 
-// NewWith builds a handler with explicit serving options.
+// NewWith builds a single-graph handler with explicit serving options.
 func NewWith(eng Engine, info Info, opts Options) *Handler {
+	h := NewRegistry(opts)
+	if err := h.Register("default", eng, info); err != nil {
+		panic(err) // unreachable: "default" is valid and the registry is empty
+	}
+	if err := h.SetDefault("default"); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewRegistry builds an empty multi-graph handler; add graphs with
+// Register or RegisterLoader. Without SetDefault the bare single-graph
+// routes answer 404.
+func NewRegistry(opts Options) *Handler {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	h := &Handler{
-		eng:       eng,
-		info:      info,
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		endpoints: make(map[string]*endpointStats),
-	}
-	if opts.CacheSize > 0 {
-		h.cache = newTopkCache(opts.CacheSize)
+		graphs:    make(map[string]*graphEntry),
 	}
 	if opts.MaxInFlight > 0 {
 		h.sem = make(chan struct{}, opts.MaxInFlight)
@@ -113,6 +144,13 @@ func NewWith(eng Engine, info Info, opts Options) *Handler {
 	h.handle("GET /score", "score", h.score)
 	h.handle("POST /batch", "batch", h.batch)
 	h.handle("POST /queryset", "queryset", h.querySet)
+	h.handle("GET /graphs/{name}/topk", "topk", h.topk)
+	h.handle("GET /graphs/{name}/score", "score", h.score)
+	h.handle("POST /graphs/{name}/batch", "batch", h.batch)
+	h.handle("POST /graphs/{name}/queryset", "queryset", h.querySet)
+	h.mux.HandleFunc("GET /graphs", h.listGraphs)
+	h.mux.HandleFunc("GET /graphs/{name}/stats", h.graphStats)
+	h.mux.HandleFunc("POST /graphs/{name}/reload", h.reloadGraph)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -125,10 +163,14 @@ func NewWith(eng Engine, info Info, opts Options) *Handler {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 // handle registers a query endpoint behind the concurrency limiter and the
-// latency instrumentation.
+// latency instrumentation. The bare and /graphs/{name}/ forms of a route
+// share one stats entry: they are the same operation.
 func (h *Handler) handle(pattern, name string, fn http.HandlerFunc) {
-	st := &endpointStats{}
-	h.endpoints[name] = st
+	st := h.endpoints[name]
+	if st == nil {
+		st = &endpointStats{}
+		h.endpoints[name] = st
+	}
 	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if h.sem != nil {
 			select {
@@ -149,24 +191,6 @@ func (h *Handler) handle(pattern, name string, fn http.HandlerFunc) {
 	})
 }
 
-// cachedTopK answers a top-k query through the LRU cache, falling back to
-// the provided compute function on a miss.
-func (h *Handler) cachedTopK(seed, k int) ([]sparse.Entry, error) {
-	if h.cache != nil {
-		if top, ok := h.cache.Get(seed, k); ok {
-			return top, nil
-		}
-	}
-	top, err := h.eng.TopK(seed, k)
-	if err != nil {
-		return nil, err
-	}
-	if h.cache != nil {
-		h.cache.Put(seed, k, top)
-	}
-	return top, nil
-}
-
 // entryJSON is the wire form of a scored node.
 type entryJSON struct {
 	Node  int     `json:"node"`
@@ -182,6 +206,10 @@ func toJSON(es []sparse.Entry) []entryJSON {
 }
 
 func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
+	e, st, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
 	seed, err := intParam(r, "seed", -1)
 	if err != nil || seed < 0 {
 		httpError(w, http.StatusBadRequest, "missing or invalid seed")
@@ -192,7 +220,8 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid k")
 		return
 	}
-	top, err := h.cachedTopK(seed, k)
+	e.queries.Add(1)
+	top, err := st.cachedTopK(seed, k)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -201,6 +230,10 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
+	e, st, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
 	seed, err := intParam(r, "seed", -1)
 	if err != nil || seed < 0 {
 		httpError(w, http.StatusBadRequest, "missing or invalid seed")
@@ -211,7 +244,8 @@ func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing or invalid node")
 		return
 	}
-	scores, err := h.eng.Query(seed)
+	e.queries.Add(1)
+	scores, err := st.eng.Query(seed)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -235,10 +269,14 @@ type seedResult struct {
 	Results []entryJSON `json:"results"`
 }
 
-// batch answers one top-k query per seed, checking the LRU cache per seed
-// and fanning the misses out over the engine's worker pool in a single
-// TopKBatch call.
+// batch answers one top-k query per seed, checking the graph's cache
+// partition per seed and fanning the misses out over the engine's worker
+// pool in a single TopKBatch call.
 func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	e, st, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -256,11 +294,12 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 	if req.K < 1 {
 		req.K = 10
 	}
+	e.queries.Add(1)
 	out := make([]seedResult, len(req.Seeds))
 	var missSeeds, missPos []int
 	for i, s := range req.Seeds {
-		if h.cache != nil {
-			if top, ok := h.cache.Get(s, req.K); ok {
+		if st.cache != nil {
+			if top, ok := st.cache.Get(s, req.K); ok {
 				out[i] = seedResult{Seed: s, Results: toJSON(top)}
 				continue
 			}
@@ -269,14 +308,14 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		missPos = append(missPos, i)
 	}
 	if len(missSeeds) > 0 {
-		tops, err := h.eng.TopKBatch(missSeeds, req.K, h.opts.Workers)
+		tops, err := st.eng.TopKBatch(missSeeds, req.K, h.opts.Workers)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
 		for j, top := range tops {
-			if h.cache != nil {
-				h.cache.Put(missSeeds[j], req.K, top)
+			if st.cache != nil {
+				st.cache.Put(missSeeds[j], req.K, top)
 			}
 			out[missPos[j]] = seedResult{Seed: missSeeds[j], Results: toJSON(top)}
 		}
@@ -291,6 +330,10 @@ type querySetRequest struct {
 }
 
 func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
+	e, st, ok := h.resolve(w, r)
+	if !ok {
+		return
+	}
 	var req querySetRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -308,7 +351,8 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 	if req.K < 1 {
 		req.K = 10
 	}
-	scores, err := h.eng.QuerySet(req.Seeds)
+	e.queries.Add(1)
+	scores, err := st.eng.QuerySet(req.Seeds)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -317,28 +361,49 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"seeds": req.Seeds, "results": toJSON(top)})
 }
 
+// stats serves the global counters. When a default graph is set its
+// metadata is inlined for compatibility with single-graph deployments;
+// every registered graph appears in the "graphs" summary either way.
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	s, t := h.eng.Params()
 	endpoints := make(map[string]interface{}, len(h.endpoints))
 	for name, st := range h.endpoints {
 		endpoints[name] = st.snapshot()
 	}
-	cache := map[string]interface{}{"enabled": false}
-	if h.cache != nil {
-		cache = h.cache.snapshot()
+	h.mu.RLock()
+	def := h.defaultEntry
+	names := make([]string, 0, len(h.graphs))
+	for name := range h.graphs {
+		names = append(names, name)
 	}
-	writeJSON(w, map[string]interface{}{
-		"graph":         h.info,
-		"s":             s,
-		"t":             t,
-		"index_bytes":   h.eng.IndexBytes(),
-		"error_bound":   h.eng.ErrorBound(),
+	queries := int64(0)
+	for _, e := range h.graphs {
+		queries += e.queries.Load()
+	}
+	h.mu.RUnlock()
+
+	resp := map[string]interface{}{
 		"workers":       h.opts.Workers,
 		"max_in_flight": h.opts.MaxInFlight,
 		"in_flight":     h.inFlight.Load(),
 		"endpoints":     endpoints,
-		"cache":         cache,
-	})
+		"graph_count":   len(names),
+		"graph_queries": queries,
+	}
+	if def != nil {
+		st := def.state.Load()
+		s, t := st.eng.Params()
+		resp["graph"] = st.info
+		resp["s"] = s
+		resp["t"] = t
+		resp["index_bytes"] = st.eng.IndexBytes()
+		resp["error_bound"] = st.eng.ErrorBound()
+		cache := map[string]interface{}{"enabled": false}
+		if st.cache != nil {
+			cache = st.cache.snapshot()
+		}
+		resp["cache"] = cache
+	}
+	writeJSON(w, resp)
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {

@@ -1,0 +1,128 @@
+// Benchmarks for the snapshot subsystem: cold-starting a query server from
+// a combined binary snapshot versus parsing a text edge list and re-running
+// preprocessing. Run with:
+//
+//	go test -bench 'SnapshotLoad|ColdStart' -benchtime 200ms
+//
+// BenchmarkSnapshotLoad is the serving path `tpad serve -graphs` takes for
+// .tpas files; BenchmarkColdStartEdgeList is the path it replaces. On a
+// 100k-node SBM graph the snapshot load is well over an order of magnitude
+// faster — the headline reason the artifact pipeline exists.
+package tpa
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+const (
+	snapBenchNodes  = 100_000
+	snapBenchComms  = 50
+	snapBenchAvgDeg = 12
+)
+
+var snapBench struct {
+	once     sync.Once
+	err      error
+	snapPath string
+	edgePath string
+}
+
+// snapBenchSetup builds the 100k-node SBM workload once and materializes
+// both on-disk forms: the text edge list and the combined snapshot.
+func snapBenchSetup(b *testing.B) (snapPath, edgePath string) {
+	b.Helper()
+	snapBench.once.Do(func() {
+		dir, err := os.MkdirTemp("", "tpa-snap-bench")
+		if err != nil {
+			snapBench.err = err
+			return
+		}
+		g := RandomSBMGraph(snapBenchNodes, snapBenchComms, snapBenchAvgDeg, 0.9, 99)
+		eng, err := New(g, Defaults())
+		if err != nil {
+			snapBench.err = err
+			return
+		}
+		snapBench.edgePath = filepath.Join(dir, "g.tsv")
+		if err := SaveGraph(snapBench.edgePath, g); err != nil {
+			snapBench.err = err
+			return
+		}
+		snapBench.snapPath = filepath.Join(dir, "g.tpas")
+		if err := eng.SaveSnapshotFile(snapBench.snapPath); err != nil {
+			snapBench.err = err
+			return
+		}
+	})
+	if snapBench.err != nil {
+		b.Fatal(snapBench.err)
+	}
+	return snapBench.snapPath, snapBench.edgePath
+}
+
+// BenchmarkSnapshotLoad measures the snapshot cold start: decode the CSR
+// graph, rebuild the CSC mirror, verify both checksums, and bind the
+// precomputed index — no edge-list parsing, no preprocessing.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	snapPath, _ := snapBenchSetup(b)
+	st, err := os.Stat(snapPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := LoadSnapshotFile(snapPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.Graph().NumNodes() != snapBenchNodes {
+			b.Fatal("wrong graph")
+		}
+	}
+}
+
+// BenchmarkColdStartEdgeList measures the path the snapshot replaces:
+// parse the text edge list and run the full preprocessing phase.
+func BenchmarkColdStartEdgeList(b *testing.B) {
+	_, edgePath := snapBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadGraph(edgePath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := New(g, Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphBinaryLoad isolates the CSR codec itself (no index): the
+// number CI tracks for the raw graph I/O path.
+func BenchmarkGraphBinaryLoad(b *testing.B) {
+	snapPath, edgePath := snapBenchSetup(b)
+	dir := filepath.Dir(snapPath)
+	g, err := LoadGraph(edgePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "g.tpag")
+	if err := SaveGraphBinary(binPath, g); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(binPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadGraphBinary(binPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package tpa
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestEngineSnapshotRoundTrip saves a preprocessed engine and reloads it
+// through the public API: the loaded engine must answer every query
+// identically without touching the edge list or re-running preprocessing.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	g := RandomSBMGraph(500, 5, 6, 0.9, 11)
+	eng, err := New(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.tpas")
+	if err := eng.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph().NumNodes() != g.NumNodes() || loaded.Graph().NumEdges() != g.NumEdges() {
+		t.Fatalf("loaded graph %d/%d, want %d/%d", loaded.Graph().NumNodes(),
+			loaded.Graph().NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if ls, lt := loaded.Params(); ls != 5 || lt != 10 {
+		t.Fatalf("params changed: S=%d T=%d", ls, lt)
+	}
+	for _, seed := range []int{0, 42, 499} {
+		a, err := eng.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: score %d differs after snapshot round trip", seed, i)
+			}
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsCorruption(t *testing.T) {
+	g := RandomSBMGraph(100, 2, 4, 0.9, 12)
+	eng, err := New(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	blob[len(blob)/2] ^= 0x01
+	if _, err := LoadSnapshot(bytes.NewReader(blob)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupted snapshot: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestStreamingEngineCannotSnapshot(t *testing.T) {
+	g := RandomSBMGraph(50, 2, 4, 0.9, 13)
+	path := filepath.Join(t.TempDir(), "edges.bin")
+	if err := CreateEdgeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewFromEdgeFile(path, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveSnapshot(&bytes.Buffer{}); err == nil {
+		t.Error("streaming engine snapshot accepted")
+	}
+}

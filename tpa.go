@@ -25,6 +25,7 @@ package tpa
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"tpa/internal/core"
 	"tpa/internal/gen"
@@ -55,6 +56,15 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
 // SaveGraph writes g to path as an edge list (".gz" supported).
 func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// SaveGraphBinary writes g to path in the compact binary CSR snapshot
+// format — the graph-only artifact; see Engine.SaveSnapshot for the
+// combined graph+index form.
+func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// LoadGraphBinary reads a graph written by SaveGraphBinary. Decode
+// failures wrap ErrBadSnapshot.
+func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
 
 // RandomCommunityGraph generates a synthetic graph with planted community
 // structure and skewed degrees — the structure TPA is designed for. It is
@@ -215,6 +225,15 @@ func (e *Engine) ErrorBound() float64 { return e.tpa.ErrorBound() }
 // IndexBytes returns the size of the preprocessed data (8 bytes per node).
 func (e *Engine) IndexBytes() int64 { return e.tpa.IndexBytes() }
 
+// Graph returns the in-memory graph the engine was built on, or nil for
+// streaming engines.
+func (e *Engine) Graph() *Graph {
+	if e.walk == nil {
+		return nil
+	}
+	return e.walk.Graph()
+}
+
 // SaveIndex serializes the preprocessed state so it can be shipped to query
 // servers and re-attached with LoadIndex.
 func (e *Engine) SaveIndex(w io.Writer) error { return e.tpa.WriteIndex(w) }
@@ -225,6 +244,80 @@ func LoadIndex(r io.Reader, g *Graph) (*Engine, error) {
 	tp, err := core.ReadIndex(r, w)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading index: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w}, nil
+}
+
+// ErrBadSnapshot is wrapped by every snapshot/index decode failure caused
+// by the stream itself — bad magic, unsupported version, truncation, or
+// checksum mismatch. Test with errors.Is; loaders never return partial
+// state alongside it.
+var ErrBadSnapshot = graph.ErrBadSnapshot
+
+// SaveSnapshot writes a combined binary snapshot of the graph and the
+// preprocessed index, so LoadSnapshot cold-starts an identical engine with
+// two sequential reads — no edge-list parsing and no re-preprocessing.
+// Streaming engines (NewFromEdgeFile) cannot snapshot.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if e.walk == nil {
+		return fmt.Errorf("tpa: streaming engines cannot be snapshotted")
+	}
+	return core.WriteSnapshot(w, e.tpa)
+}
+
+// LoadSnapshot reconstructs an engine from a combined snapshot written by
+// SaveSnapshot. Decode failures wrap ErrBadSnapshot.
+func LoadSnapshot(r io.Reader) (*Engine, error) {
+	w, tp, err := core.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: loading snapshot: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w}, nil
+}
+
+// SaveSnapshotFile writes the engine's combined snapshot to path. The
+// write goes to a temporary file renamed into place on success, so an
+// interrupted save (a killed `tpad build`) never leaves a truncated
+// snapshot behind to poison the next `tpad serve -graphs` startup.
+func (e *Engine) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := e.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadSnapshotFile reconstructs an engine from a snapshot file written by
+// SaveSnapshotFile. The file size bounds the header's length fields, so a
+// corrupt or crafted file fails typed instead of attempting a giant
+// allocation.
+func LoadSnapshotFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	w, tp, err := core.ReadSnapshotBounded(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("tpa: loading snapshot %s: %w", path, err)
 	}
 	return &Engine{tpa: tp, walk: w}, nil
 }
