@@ -1,0 +1,190 @@
+package tpa_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tpa"
+)
+
+// Property-based accuracy regression suite: on random SBM graphs of varying
+// shape, the engine's answers must honor the paper's guarantees —
+// ‖r_exact − r_TPA‖₁ ≤ 2(1-c)^S (Theorem 2), unit total mass, and a top-k
+// head consistent with exact RWR wherever the error budget allows ranks to
+// be distinguished at all. The same properties are asserted again after
+// dynamic edge mutations, both on the uncompacted overlay and after
+// compaction, so the incremental reindex path is held to the same bound as
+// fresh preprocessing.
+
+func l1dist(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// checkAccuracy asserts the Theorem-2 bound, mass conservation, TopK
+// consistency with Query, and margin-aware head agreement with exact RWR
+// for one engine/graph/seed triple. g must be the exact graph the engine
+// currently serves.
+func checkAccuracy(t *testing.T, tag string, eng *tpa.Engine, g *tpa.Graph, seed int, o tpa.Options) {
+	t.Helper()
+	approx, err := eng.Query(seed)
+	if err != nil {
+		t.Fatalf("%s: query: %v", tag, err)
+	}
+	exact, err := tpa.Exact(g, seed, o)
+	if err != nil {
+		t.Fatalf("%s: exact: %v", tag, err)
+	}
+
+	// Theorem 2: the L1 error never exceeds the a-priori bound.
+	dist := l1dist(approx, exact)
+	if bound := eng.ErrorBound(); dist > bound {
+		t.Errorf("%s seed %d: L1 error %g exceeds ErrorBound %g", tag, seed, dist, bound)
+	}
+
+	// The walk is column-stochastic under the self-loop policy, so both
+	// vectors carry (ε-truncated) unit mass.
+	var mass float64
+	for _, v := range approx {
+		mass += v
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		t.Errorf("%s seed %d: query mass %g, want ≈1", tag, seed, mass)
+	}
+
+	// TopK must be exactly the head of the score vector it serves.
+	const k = 10
+	top, err := eng.TopK(seed, k)
+	if err != nil {
+		t.Fatalf("%s: topk: %v", tag, err)
+	}
+	want := tpa.TopKOf(approx, k)
+	if len(top) != len(want) {
+		t.Fatalf("%s seed %d: TopK returned %d entries, want %d", tag, seed, len(top), len(want))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Errorf("%s seed %d: TopK[%d] = %+v, want %+v", tag, seed, i, top[i], want[i])
+		}
+	}
+
+	// Head agreement: per-entry errors are bounded by the measured L1
+	// distance, so whenever exact scores of two nodes differ by more than
+	// that, TPA must rank them the same way. This checks TopK ordering
+	// against exact RWR precisely on the pairs the error budget can
+	// distinguish — near-ties are legitimately unordered.
+	idx := make([]int, len(exact))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return exact[idx[i]] > exact[idx[j]] })
+	head := idx
+	if len(head) > 2*k {
+		head = head[:2*k]
+	}
+	for i := 0; i < len(head); i++ {
+		for j := i + 1; j < len(head); j++ {
+			a, b := head[i], head[j]
+			if exact[a]-exact[b] > dist && approx[a] <= approx[b] {
+				t.Errorf("%s seed %d: exact ranks %d (%.3g) above %d (%.3g) by more than the error %.3g, but TPA orders them %g ≤ %g",
+					tag, seed, a, exact[a], b, exact[b], dist, approx[a], approx[b])
+			}
+		}
+	}
+}
+
+func TestAccuracyPropertySBM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		nodes := 150 + rng.Intn(450)
+		comms := 2 + rng.Intn(4)
+		deg := 3 + rng.Float64()*5
+		pin := 0.7 + rng.Float64()*0.25
+		g := tpa.RandomSBMGraph(nodes, comms, deg, pin, rng.Int63())
+		o := tpa.Defaults()
+		o.CompactAfter = 0.5 // keep small batches on the overlay below
+		eng, err := tpa.New(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := []int{rng.Intn(nodes), rng.Intn(nodes), rng.Intn(nodes)}
+		for _, seed := range seeds {
+			checkAccuracy(t, "static", eng, g, seed, o)
+		}
+
+		// Random mutation batch: fresh edges in, existing edges out.
+		var adds, removes [][2]int
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			adds = append(adds, [2]int{rng.Intn(nodes), rng.Intn(nodes)})
+			u := rng.Intn(nodes)
+			if ns := g.OutNeighbors(u); len(ns) > 0 {
+				removes = append(removes, [2]int{u, int(ns[rng.Intn(len(ns))])})
+			}
+		}
+		mutated, stats, err := eng.ApplyEdges(adds, removes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compacted, err := mutated.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg := compacted.Graph()
+		if mg == nil {
+			t.Fatal("compacted engine lost its graph")
+		}
+		for _, seed := range seeds {
+			// The overlay engine and the compacted engine serve the same
+			// mutated graph; both must stay within the bound of exact RWR
+			// on that graph.
+			if !stats.Compacted {
+				checkAccuracy(t, "overlay", mutated, mg, seed, o)
+			}
+			checkAccuracy(t, "compacted", compacted, mg, seed, o)
+		}
+	}
+}
+
+// TestAccuracyAfterMutationStorm chains many mutation batches (crossing
+// compaction and possibly full-rebuild thresholds) and asserts the final
+// engine still meets the Theorem-2 bound against exact RWR on the final
+// graph — the regression test for error drift in stacked incremental
+// reindexes.
+func TestAccuracyAfterMutationStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const nodes = 250
+	g := tpa.RandomSBMGraph(nodes, 3, 5, 0.85, 41)
+	o := tpa.Defaults()
+	o.CompactAfter = 0.03
+	eng, err := tpa.New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := eng
+	for step := 0; step < 10; step++ {
+		var adds, removes [][2]int
+		for i := 0; i < 8; i++ {
+			adds = append(adds, [2]int{rng.Intn(nodes), rng.Intn(nodes)})
+		}
+		cur, _, err = cur.ApplyEdges(adds, removes)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := cur.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 17, 123, 249} {
+		checkAccuracy(t, "storm", final, final.Graph(), seed, o)
+	}
+}

@@ -53,10 +53,24 @@ type report struct {
 	GoArch     string        `json:"goarch,omitempty"`
 	CPU        string        `json:"cpu,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+
+	// pending remembers, per package, a benchmark name whose result is
+	// still outstanding. `go test` writes a result line as two separate
+	// Writes — the name when the benchmark starts, the numbers when it
+	// finishes — and the -json wrapper turns each Write into its own
+	// event, so the two halves usually arrive as separate output lines
+	// and must be stitched back together.
+	pending map[string]string
 }
 
 // benchLine matches "BenchmarkName-8   \t  14\t  16420210 ns/op\t 389 MB/s".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+// benchName matches the name-only first half of a split result line.
+var benchName = regexp.MustCompile(`^Benchmark\S+$`)
+
+// benchTail matches the numbers-only second half: "14\t  16420210 ns/op...".
+var benchTail = regexp.MustCompile(`^\d+\s+.+$`)
 
 func main() {
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -109,7 +123,26 @@ func (rep *report) scanLine(line, pkg string) {
 	}
 	m := benchLine.FindStringSubmatch(line)
 	if m == nil {
-		return
+		// Stitch split result lines (see report.pending). A bare name
+		// arms the package; the next numbers-only line completes it; any
+		// other line (a log, a RUN header, a failure) disarms it.
+		if rep.pending == nil {
+			rep.pending = make(map[string]string)
+		}
+		switch {
+		case benchName.MatchString(line):
+			rep.pending[pkg] = line
+			return
+		case rep.pending[pkg] != "" && benchTail.MatchString(line):
+			m = benchLine.FindStringSubmatch(rep.pending[pkg] + "   " + line)
+			delete(rep.pending, pkg)
+			if m == nil {
+				return
+			}
+		default:
+			delete(rep.pending, pkg)
+			return
+		}
 	}
 	res := benchResult{Name: m[1], Package: pkg}
 	if m[2] != "" {

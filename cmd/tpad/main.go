@@ -3,6 +3,7 @@
 //	tpad build -graph edges.tsv [-o edges.tpas] [-s 5 -t 10 -c 0.15] [-workers 8]
 //	tpad serve -graphs snapshots/ [-addr :8080] [-cache 4096] [-max-inflight 256]
 //	tpad serve -graph edges.tsv [-index prebuilt.idx] [...]
+//	tpad mutate -graph name [-add u,v]... [-remove u,v]... [-file f | -watch f]
 //	tpad -graph edges.tsv [...]                  (legacy alias for "serve")
 //
 // build runs preprocessing once and writes a combined graph+index snapshot
@@ -45,6 +46,8 @@ func main() {
 		err = cmdBuild(args[1:])
 	case len(args) > 0 && args[0] == "serve":
 		err = cmdServe(args[1:])
+	case len(args) > 0 && args[0] == "mutate":
+		err = cmdMutate(args[1:])
 	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
 		usage()
 		return
@@ -63,9 +66,13 @@ func usage() {
   tpad build -graph <edges.tsv> [-o <out.tpas>] [-s 5] [-t 10] [-c 0.15] [-eps 1e-9] [-workers N]
   tpad serve -graphs <dir>      [-addr :8080] [serving flags]
   tpad serve -graph <edges.tsv> [-index <in.idx>] [-addr :8080] [serving flags]
+  tpad mutate -graph <name>     [-server URL] [-add u,v]... [-remove u,v]... [-file f]
+  tpad mutate -graph <name>     [-server URL] -watch <file> [-interval 1s]
 
 serving flags: -workers N -cache N -max-inflight N -max-batch N -c -eps -s -t
-"tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".`)
+"tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".
+mutate posts edge batches to a running server's POST /graphs/{name}/edges;
+-watch follows a growing mutation file ("+ u v" / "- u v" lines) until ^C.`)
 }
 
 func tpaOpts(fs *flag.FlagSet) *tpa.Options {

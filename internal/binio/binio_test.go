@@ -1,0 +1,177 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestRoundTrip pushes every field type through a Writer/Reader pair,
+// including slices long enough to cross the internal 64 KiB chunking
+// boundary, and checks the footer closes the stream cleanly.
+func TestRoundTrip(t *testing.T) {
+	i64s := make([]int64, 10000) // 80 KB > one chunk
+	i32s := make([]int32, 20000)
+	f64s := make([]float64, 9000)
+	for i := range i64s {
+		i64s[i] = int64(i*i) - 5000
+	}
+	for i := range i32s {
+		i32s[i] = int32(i) - 10000
+	}
+	for i := range f64s {
+		f64s[i] = math.Sqrt(float64(i)) - 40
+	}
+	f64s[0], f64s[1] = math.Inf(1), math.NaN()
+
+	var buf bytes.Buffer
+	e := NewWriter(&buf)
+	e.U32(0xDEADBEEF)
+	e.U64(1 << 60)
+	e.I64s(i64s)
+	e.I32s(i32s)
+	e.F64s(f64s)
+	if err := e.Footer(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %#x", got)
+	}
+	gi64 := make([]int64, len(i64s))
+	d.I64s(gi64)
+	gi32 := make([]int32, len(i32s))
+	d.I32s(gi32)
+	gf64 := make([]float64, len(f64s))
+	d.F64s(gf64)
+	if err := d.Footer(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range i64s {
+		if gi64[i] != i64s[i] {
+			t.Fatalf("i64[%d] = %d, want %d", i, gi64[i], i64s[i])
+		}
+	}
+	for i := range i32s {
+		if gi32[i] != i32s[i] {
+			t.Fatalf("i32[%d] = %d, want %d", i, gi32[i], i32s[i])
+		}
+	}
+	for i := range f64s {
+		if math.Float64bits(gf64[i]) != math.Float64bits(f64s[i]) {
+			t.Fatalf("f64[%d] = %v, want %v (NaN/Inf must round-trip bit-exact)", i, gf64[i], f64s[i])
+		}
+	}
+}
+
+func encode(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewWriter(&buf)
+	e.U32(7)
+	e.I64s([]int64{1, 2, 3})
+	e.F64s([]float64{0.5, 1.5})
+	if err := e.Footer(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFooterDetectsCorruption(t *testing.T) {
+	blob := encode(t)
+	for off := 0; off < len(blob); off++ {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x10
+		d := NewReader(bytes.NewReader(bad))
+		d.U32()
+		d.I64s(make([]int64, 3))
+		d.F64s(make([]float64, 2))
+		if err := d.Footer(); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("flip at byte %d survived: %v", off, err)
+		}
+	}
+}
+
+func TestTruncationIsTyped(t *testing.T) {
+	blob := encode(t)
+	for cut := 0; cut < len(blob); cut++ {
+		d := NewReader(bytes.NewReader(blob[:cut]))
+		d.U32()
+		d.I64s(make([]int64, 3))
+		d.F64s(make([]float64, 2))
+		err := d.Footer()
+		if err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncation at %d yields untyped error: %v", cut, err)
+		}
+		// The first error sticks: further reads stay failed and return
+		// zero values instead of garbage.
+		if got := d.U32(); got != 0 {
+			t.Fatalf("read after error returned %d", got)
+		}
+		if d.Err() == nil {
+			t.Fatal("Err() nil after failure")
+		}
+	}
+}
+
+// failingWriter errors after limit bytes, to exercise write-error stickiness.
+type failingWriter struct{ limit int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.limit <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.limit -= len(p)
+	return len(p), nil
+}
+
+func TestWriterErrorSticks(t *testing.T) {
+	e := NewWriter(&failingWriter{limit: 8})
+	e.U64(1)              // fits
+	e.U64(2)              // fails
+	e.I64s([]int64{3, 4}) // must be a no-op after the failure
+	e.U32(5)
+	e.F64s([]float64{6})
+	if err := e.Err(); err == nil {
+		t.Fatal("write error not surfaced by Err")
+	}
+	if err := e.Footer(); err == nil {
+		t.Fatal("write error not surfaced by Footer")
+	}
+}
+
+func TestNonIOErrorsPassThrough(t *testing.T) {
+	// An underlying reader error that is NOT truncation must pass through
+	// unwrapped (it is an I/O problem, not a bad snapshot).
+	d := NewReader(&failingReader{})
+	d.U32()
+	if err := d.Err(); err == nil || errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("I/O error mangled into %v", err)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read(p []byte) (int, error) { return 0, fmt.Errorf("socket reset") }
+
+func TestErrf(t *testing.T) {
+	err := Errf("context %d", 42)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatal("Errf does not wrap ErrBadSnapshot")
+	}
+	if want := "context 42: bad snapshot"; err.Error() != want {
+		t.Errorf("Errf message %q, want %q", err.Error(), want)
+	}
+}

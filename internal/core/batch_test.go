@@ -92,27 +92,33 @@ func TestQueryIntoMatchesQuery(t *testing.T) {
 	}
 }
 
-// The pooled-scratch query path must not allocate per query beyond the
-// result it writes into the caller's vector.
+// The query hot path must not allocate at all beyond the scratch it is
+// handed. Measuring queryInto with a caller-held scratch takes the
+// sync.Pool out of the picture entirely, so the count is exactly zero on
+// every run — the pool is what made the old QueryInto-based check flaky:
+// GC can empty it mid-run, and under the race detector Put/Get drop
+// entries pseudo-randomly, both forcing occasional scratch re-allocations.
+// This assertion is deterministic under both runtimes.
 func TestQueryIntoAllocationFree(t *testing.T) {
-	if raceEnabled {
-		t.Skip("allocation counts are not meaningful under the race detector")
-	}
 	tp, _ := preprocessed(t, 54, DefaultParams())
 	dst := sparse.NewVector(tp.Walk().N())
-	// Warm the scratch pool.
-	if _, err := tp.QueryInto(5, dst); err != nil {
+	sc := tp.getScratch()
+	defer tp.putScratch(sc)
+	seeds := []int{5}
+	allocs := testing.AllocsPerRun(200, func() {
+		tp.queryInto(seeds, dst, sc)
+	})
+	if allocs != 0 {
+		t.Errorf("queryInto allocates %.2f objects/op, want exactly 0", allocs)
+	}
+	// The pooled public wrapper must produce the same answer (its own
+	// allocation behavior is the pool's business, not asserted here).
+	want, err := tp.QueryInto(5, sparse.NewVector(tp.Walk().N()))
+	if err != nil {
 		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := tp.QueryInto(5, dst); err != nil {
-			t.Fatal(err)
-		}
-	})
-	// GC can empty the sync.Pool mid-run, forcing an occasional re-allocation
-	// of a scratch; allow a small average but fail on per-call allocation.
-	if allocs > 0.5 {
-		t.Errorf("QueryInto allocates %.2f objects/op, want ~0", allocs)
+	if d := want.L1Dist(dst); d != 0 {
+		t.Errorf("scratch-held queryInto deviates from QueryInto by %g", d)
 	}
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"tpa/internal/graph"
+)
+
+// fuzzFixture builds one preprocessed TPA and its serialized index and
+// snapshot, shared as the seed corpus and (for the index) the target walk.
+func fuzzFixture(f *testing.F) (*TPA, *graph.Walk, []byte, []byte) {
+	f.Helper()
+	w := testWalk(f, 80)
+	tp, err := Preprocess(w, cfg(), DefaultParams())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var idx bytes.Buffer
+	if err := tp.WriteIndex(&idx); err != nil {
+		f.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := WriteSnapshot(&snap, tp); err != nil {
+		f.Fatal(err)
+	}
+	return tp, w, idx.Bytes(), snap.Bytes()
+}
+
+// seedCorruptions registers blob plus the corruption shapes the unit tests
+// probe by hand: truncations at interesting offsets, bit flips in header
+// and payload, and counter fields rewritten to absurd values.
+func seedCorruptions(f *testing.F, blob []byte) {
+	f.Helper()
+	f.Add(blob)
+	for _, cut := range []int{0, 2, 4, 16, 39, 40, len(blob) / 2, len(blob) - 1} {
+		if cut >= 0 && cut < len(blob) {
+			f.Add(append([]byte(nil), blob[:cut]...))
+		}
+	}
+	for _, off := range []int{0, 4, 8, len(blob) / 2, len(blob) - 10} {
+		if off >= 0 && off < len(blob) {
+			flip := append([]byte(nil), blob...)
+			flip[off] ^= 0x01
+			f.Add(flip)
+		}
+	}
+	if len(blob) >= 40 {
+		absurd := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(absurd[32:], 1<<60)
+		f.Add(absurd)
+	}
+}
+
+// FuzzReadIndex drives arbitrary bytes through the TPA2/TPA1 index decoder
+// bound to a fixed graph: every decode must either produce a usable index
+// for that graph or fail with a typed ErrBadSnapshot — no panics, no
+// partial state, and no allocation driven by an unvalidated length field
+// (the node count is cross-checked against the graph before the vector is
+// allocated).
+func FuzzReadIndex(f *testing.F) {
+	_, w, idx, _ := fuzzFixture(f)
+	seedCorruptions(f, idx)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := ReadIndex(bytes.NewReader(data), w)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("decode error does not wrap ErrBadSnapshot: %v", err)
+			}
+			if tp != nil {
+				t.Fatal("partial TPA returned alongside error")
+			}
+			return
+		}
+		if len(tp.StrangerVector()) != w.N() {
+			t.Fatalf("accepted index has %d-node vector for a %d-node graph",
+				len(tp.StrangerVector()), w.N())
+		}
+		if err := tp.Params().Validate(); err != nil {
+			t.Fatalf("accepted index has invalid params: %v", err)
+		}
+	})
+}
+
+// FuzzReadSnapshot drives arbitrary bytes through the combined TPAS
+// container decoder (outer header + TPAG graph section + TPA2 index
+// section). The stream bound is the input length, as when loading from a
+// file, so a crafted header cannot demand more memory than the input could
+// hold.
+func FuzzReadSnapshot(f *testing.F) {
+	_, _, _, snap := fuzzFixture(f)
+	seedCorruptions(f, snap)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, tp, err := ReadSnapshotBounded(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("decode error does not wrap ErrBadSnapshot: %v", err)
+			}
+			if w != nil || tp != nil {
+				t.Fatal("partial state returned alongside error")
+			}
+			return
+		}
+		if err := w.Graph().Validate(); err != nil {
+			t.Fatalf("accepted snapshot carries an invalid graph: %v", err)
+		}
+		if len(tp.StrangerVector()) != w.N() {
+			t.Fatal("accepted snapshot has mismatched index and graph sizes")
+		}
+	})
+}

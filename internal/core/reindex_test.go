@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+// mutate applies a random small edge batch to w's graph and returns the
+// delta walk plus the compacted graph for ground-truth preprocessing.
+func mutate(t *testing.T, w *graph.Walk, rng *rand.Rand, batch int) (*graph.DeltaWalk, *graph.Graph) {
+	t.Helper()
+	g := w.Graph()
+	n := g.NumNodes()
+	d := graph.NewDelta(g)
+	var adds, removes [][2]int
+	for i := 0; i < batch; i++ {
+		adds = append(adds, [2]int{rng.Intn(n), rng.Intn(n)})
+		u := rng.Intn(n)
+		if ns := g.OutNeighbors(u); len(ns) > 0 {
+			removes = append(removes, [2]int{u, int(ns[rng.Intn(len(ns))])})
+		}
+	}
+	if _, _, err := d.Apply(adds, removes); err != nil {
+		t.Fatal(err)
+	}
+	return graph.NewDeltaWalk(d, w.Policy()), d.Compact()
+}
+
+// TestReindexMatchesFullPreprocess is the incremental path's correctness
+// property: after a small delta, Reindex must land on (numerically) the
+// same stranger vector a from-scratch Preprocess of the mutated graph
+// produces, and with fewer propagation steps.
+func TestReindexMatchesFullPreprocess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		tp, w := preprocessed(t, int64(60+trial), DefaultParams())
+		dw, compacted := mutate(t, w, rng, 3)
+
+		inc, stats, err := Reindex(tp, dw, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Full {
+			t.Fatalf("trial %d: small delta fell back to full preprocessing (residual %g)", trial, stats.Residual)
+		}
+		full, err := Preprocess(graph.NewWalk(compacted, w.Policy()), cfg(), DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both vectors are ε-truncated CPI sums; they may differ by the
+		// truncation tails, orders of magnitude below the query error bound.
+		if d := inc.StrangerVector().L1Dist(full.StrangerVector()); d > 1e-6 {
+			t.Errorf("trial %d: incremental stranger vector deviates from full preprocess by %g", trial, d)
+		}
+		if got, want := stats.Iters(), full.PreprocessIters(); got >= want {
+			t.Errorf("trial %d: incremental reindex spent %d propagation steps, full preprocess %d",
+				trial, got, want)
+		}
+		// Queries through the incrementally reindexed state agree too.
+		a, err := inc.Query(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := full.Query(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.L1Dist(b); d > 1e-6 {
+			t.Errorf("trial %d: post-reindex query deviates by %g", trial, d)
+		}
+	}
+}
+
+// TestReindexFallsBackOnLargeDelta rewires a large fraction of the graph:
+// the residual must exceed the threshold and Reindex must transparently run
+// a full preprocess instead, with identical results.
+func TestReindexFallsBackOnLargeDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tp, w := preprocessed(t, 70, DefaultParams())
+	dw, compacted := mutate(t, w, rng, w.N()*4)
+
+	got, stats, err := Reindex(tp, dw, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Full {
+		t.Fatalf("massive delta took the incremental path (residual %g)", stats.Residual)
+	}
+	full, err := Preprocess(graph.NewWalk(compacted, w.Policy()), cfg(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.StrangerVector().L1Dist(full.StrangerVector()); d > 1e-10 {
+		t.Errorf("fallback result deviates from direct preprocess by %g", d)
+	}
+}
+
+// TestReindexRepeated stacks many small incremental reindexes and checks
+// the truncation drift stays negligible against a from-scratch rebuild.
+func TestReindexRepeated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tp, w := preprocessed(t, 71, DefaultParams())
+	cur := tp
+	var dw *graph.DeltaWalk
+	var compacted *graph.Graph
+	walk := w
+	for step := 0; step < 8; step++ {
+		dw, compacted = mutate(t, walk, rng, 2)
+		var err error
+		cur, _, err = Reindex(cur, dw, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebind each generation to the compacted walk, as Engine does.
+		walk = graph.NewWalk(compacted, w.Policy())
+		cur, err = cur.WithOperator(walk)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := Preprocess(walk, cfg(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cur.StrangerVector().L1Dist(full.StrangerVector()); d > 1e-5 {
+		t.Errorf("8 stacked increments drifted %g from a fresh preprocess", d)
+	}
+}
+
+func TestReindexErrors(t *testing.T) {
+	tp, _ := preprocessed(t, 72, DefaultParams())
+	other := graph.NewWalk(gen.ErdosRenyi(tp.walk.N()+5, 100, 1), graph.DanglingSelfLoop)
+	if _, _, err := Reindex(tp, other, 1, 0); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	if _, err := tp.WithOperator(other); err == nil {
+		t.Error("WithOperator accepted a different-size operator")
+	}
+}

@@ -1,0 +1,81 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"tpa/internal/binio"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+// FuzzLoadGraphBinary drives arbitrary bytes through the TPAG decoder (the
+// codec behind tpa.LoadGraphBinary). The contract under attack: every
+// decode either yields a structurally valid graph or a typed
+// ErrBadSnapshot — never a panic, never a partial graph, and never an
+// allocation beyond what the input's own size can justify (the decoder is
+// handed len(data) as its stream bound, exactly like the file loader).
+func FuzzLoadGraphBinary(f *testing.F) {
+	// Seed corpus: the shapes the corruption tests found interesting —
+	// valid snapshots of several graphs, truncations, bit flips, lying
+	// headers, and structurally broken bodies behind a valid checksum.
+	seed := func(g *graph.Graph) []byte {
+		var buf bytes.Buffer
+		if err := graph.WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	blobs := [][]byte{
+		seed(gen.SBM(gen.SBMConfig{Nodes: 60, Communities: 3, AvgOutDeg: 4, PIn: 0.8, Seed: 1, Uniform: true})),
+		seed(graph.FromEdges(0, nil)),
+		seed(graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {3, 3}})),
+	}
+	for _, blob := range blobs {
+		f.Add(blob)
+		for _, cut := range []int{3, 8, 24, len(blob) / 2, len(blob) - 1} {
+			if cut < len(blob) {
+				f.Add(append([]byte(nil), blob[:cut]...))
+			}
+		}
+		flip := append([]byte(nil), blob...)
+		flip[len(flip)/2] ^= 0x40
+		f.Add(flip)
+		absurd := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(absurd[16:], 1<<60)
+		f.Add(absurd)
+	}
+	// A structurally inconsistent body with a valid CRC.
+	var crafted bytes.Buffer
+	e := binio.NewWriter(&crafted)
+	e.U32(0x47415054) // "TPAG"
+	e.U32(1)
+	e.U64(2)
+	e.U64(3)
+	e.I64s([]int64{0, 100, 3})
+	e.I32s([]int32{1, 0, 9})
+	if err := e.Footer(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(crafted.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadBinaryBounded(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			if !errors.Is(err, graph.ErrBadSnapshot) {
+				// A bytes.Reader produces no I/O errors of its own, so any
+				// failure must be the typed decode error.
+				t.Fatalf("decode error does not wrap ErrBadSnapshot: %v", err)
+			}
+			if g != nil {
+				t.Fatal("partial graph returned alongside error")
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted a structurally invalid graph: %v", err)
+		}
+	})
+}

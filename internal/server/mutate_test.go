@@ -1,0 +1,241 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpa"
+)
+
+func TestMutateAddsAndRemovesEdges(t *testing.T) {
+	g := tpa.RandomSBMGraph(120, 2, 5, 0.9, 33)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewRegistry(Options{CacheSize: 16})
+	if err := h.Register("live", eng, Info{Nodes: 120, Edges: g.NumEdges(), Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache so the swap's partition replacement is observable.
+	get(t, h, "/graphs/live/topk?seed=1&k=3")
+
+	victim := int(g.OutNeighbors(1)[0])
+	rec, body := postJSON(t, h, "/graphs/live/edges",
+		fmt.Sprintf(`{"add":[[1,119],[2,118]],"remove":[[1,%d]]}`, victim))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutate: %d (%v)", rec.Code, body)
+	}
+	if body["added"].(float64) != 2 || body["removed"].(float64) != 1 {
+		t.Errorf("added/removed = %v/%v, want 2/1", body["added"], body["removed"])
+	}
+	if want := float64(g.NumEdges() + 1); body["edges"].(float64) != want {
+		t.Errorf("edges = %v, want %v", body["edges"], want)
+	}
+	if body["incremental"] != true {
+		t.Errorf("small batch not incremental: %v", body)
+	}
+	// The stats reflect the swap: edge count updated, cache partition fresh,
+	// mutation counter bumped.
+	_, stats := get(t, h, "/graphs/live/stats")
+	if stats["mutations"].(float64) != 1 {
+		t.Errorf("mutations = %v, want 1", stats["mutations"])
+	}
+	gi := stats["graph"].(map[string]interface{})
+	if gi["edges"].(float64) != float64(g.NumEdges()+1) {
+		t.Errorf("stats edges = %v", gi["edges"])
+	}
+	if entries := stats["cache"].(map[string]interface{})["entries"].(float64); entries != 0 {
+		t.Errorf("cache entries = %v after mutation, want 0 (partition replaced)", entries)
+	}
+	// /graphs listing carries the counter too.
+	_, listing := get(t, h, "/graphs")
+	first := listing["graphs"].([]interface{})[0].(map[string]interface{})
+	if first["mutations"].(float64) != 1 {
+		t.Errorf("listing mutations = %v", first["mutations"])
+	}
+
+	// An all-no-op batch (the add exists, the remove doesn't) must not
+	// swap state: the warm cache partition survives.
+	get(t, h, "/graphs/live/topk?seed=2&k=3")
+	rec, body = postJSON(t, h, "/graphs/live/edges",
+		fmt.Sprintf(`{"add":[[1,119]],"remove":[[1,%d]]}`, victim))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("no-op mutate: %d (%v)", rec.Code, body)
+	}
+	if body["added"].(float64) != 0 || body["removed"].(float64) != 0 {
+		t.Errorf("no-op batch reported %v/%v mutations", body["added"], body["removed"])
+	}
+	_, stats = get(t, h, "/graphs/live/stats")
+	if entries := stats["cache"].(map[string]interface{})["entries"].(float64); entries == 0 {
+		t.Error("no-op batch evicted the cache partition")
+	}
+}
+
+func TestMutateErrors(t *testing.T) {
+	g := tpa.RandomSBMGraph(50, 2, 4, 0.9, 34)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewRegistry(Options{})
+	if err := h.Register("live", eng, Info{Nodes: 50, Edges: g.NumEdges()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("fake", &slowEngine{}, Info{Nodes: 1, Edges: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, _ := postJSON(t, h, "/graphs/nope/edges", `{"add":[[0,1]]}`)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown graph: %d, want 404", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/live/edges", `{"add":`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d, want 400", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/live/edges", `{}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty mutation: %d, want 400", rec.Code)
+	}
+	rec, _ = postJSON(t, h, "/graphs/live/edges", `{"add":[[0,999]]}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range edge: %d, want 422", rec.Code)
+	}
+	// A failed mutation leaves the old engine serving.
+	rec, _ = get(t, h, "/graphs/live/topk?seed=1&k=2")
+	if rec.Code != http.StatusOK {
+		t.Errorf("graph dead after failed mutation: %d", rec.Code)
+	}
+	// Engines that are not *tpa.Engine cannot mutate.
+	rec, _ = postJSON(t, h, "/graphs/fake/edges", `{"add":[[0,0]]}`)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("non-mutable engine: %d, want 409", rec.Code)
+	}
+}
+
+// TestMutateReloadConflict pins a reload inside its loader and checks a
+// concurrent mutation is turned away with 409: swaps of one graph
+// serialize instead of racing.
+func TestMutateReloadConflict(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	loader := func() (Engine, Info, error) {
+		if calls.Add(1) > 1 {
+			entered <- struct{}{}
+			<-release
+		}
+		g := tpa.RandomSBMGraph(60, 2, 4, 0.9, 35)
+		eng, err := tpa.New(g, tpa.Defaults())
+		return eng, Info{Nodes: 60, Edges: g.NumEdges()}, err
+	}
+	h := NewRegistry(Options{})
+	if err := h.RegisterLoader("slow", loader); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		rec, _ := postJSON(t, h, "/graphs/slow/reload", "")
+		done <- rec.Code
+	}()
+	<-entered // reload is now blocked inside the loader
+	rec, _ := postJSON(t, h, "/graphs/slow/edges", `{"add":[[0,1]]}`)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("mutation during reload: %d, want 409", rec.Code)
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("reload: %d", code)
+	}
+	// With the reload done, the mutation goes through.
+	rec, _ = postJSON(t, h, "/graphs/slow/edges", `{"add":[[0,1]]}`)
+	if rec.Code != http.StatusOK {
+		t.Errorf("mutation after reload: %d", rec.Code)
+	}
+}
+
+// TestMutateUnderFire hammers a graph with concurrent queries while edge
+// batches land one after another: every query must succeed against either
+// the pre- or post-mutation engine — the atomic swap drops nothing. Run
+// with -race this also proves the mutation path is data-race free.
+func TestMutateUnderFire(t *testing.T) {
+	const nodes = 120
+	g := tpa.RandomSBMGraph(nodes, 3, 5, 0.9, 36)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewRegistry(Options{CacheSize: 32, Workers: 2})
+	if err := h.Register("fire", eng, Info{Nodes: nodes, Edges: g.NumEdges(), Name: "fire"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seed := (c*13 + i) % nodes
+				var rec *httptest.ResponseRecorder
+				if i%3 == 0 {
+					rec, _ = postJSON(t, h, "/graphs/fire/batch",
+						fmt.Sprintf(`{"seeds":[%d,%d],"k":3}`, seed, (seed+7)%nodes))
+				} else {
+					rec, _ = get(t, h, fmt.Sprintf("/graphs/fire/topk?seed=%d&k=3", seed))
+				}
+				if rec.Code != http.StatusOK {
+					t.Errorf("query during mutation: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < 5; i++ {
+		// Require query traffic between swaps, so every generation provably
+		// serves while the next mutation races it.
+		target := served.Load() + int64(clients)
+		for served.Load() < target {
+			if time.Now().After(deadline) {
+				t.Fatal("clients stopped serving during the mutation storm")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		rec, body := postJSON(t, h, "/graphs/fire/edges",
+			fmt.Sprintf(`{"add":[[%d,%d],[%d,%d]]}`, i, nodes-1-i, i+10, i+20))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("mutation %d: %d (%v)", i, rec.Code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the mutation storm")
+	}
+	_, stats := get(t, h, "/graphs/fire/stats")
+	if stats["mutations"].(float64) != 5 {
+		t.Errorf("mutations = %v, want 5", stats["mutations"])
+	}
+	// All five adds are distinct new edges: the final edge count reflects
+	// every batch despite the storm.
+	gi := stats["graph"].(map[string]interface{})
+	if want := float64(g.NumEdges() + 10); gi["edges"].(float64) != want {
+		t.Errorf("final edges = %v, want %v", gi["edges"], want)
+	}
+}

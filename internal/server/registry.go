@@ -52,9 +52,10 @@ type graphEntry struct {
 	name      string
 	loader    Loader // nil when registered with a fixed engine (not reloadable)
 	state     atomic.Pointer[engineState]
-	reloading atomic.Bool  // guards concurrent reloads, not queries
+	swapping  atomic.Bool  // serializes state swaps (reloads and mutations), not queries
 	queries   atomic.Int64 // query requests routed to this graph
 	reloads   atomic.Int64 // completed reloads
+	mutations atomic.Int64 // completed edge mutations
 }
 
 func (h *Handler) newState(eng Engine, info Info) *engineState {
@@ -193,6 +194,7 @@ func (h *Handler) listGraphs(w http.ResponseWriter, r *http.Request) {
 			"source":     st.info.Name,
 			"queries":    e.queries.Load(),
 			"reloads":    e.reloads.Load(),
+			"mutations":  e.mutations.Load(),
 			"reloadable": e.loader != nil,
 			"loaded_at":  st.loadedAt.UTC().Format(time.RFC3339),
 		}
@@ -221,6 +223,7 @@ func (h *Handler) graphStats(w http.ResponseWriter, r *http.Request) {
 		"error_bound": st.eng.ErrorBound(),
 		"queries":     e.queries.Load(),
 		"reloads":     e.reloads.Load(),
+		"mutations":   e.mutations.Load(),
 		"reloadable":  e.loader != nil,
 		"loaded_at":   st.loadedAt.UTC().Format(time.RFC3339),
 		"cache":       cache,
@@ -246,11 +249,11 @@ func (h *Handler) reloadGraph(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("graph %q was registered with a fixed engine and cannot be reloaded", name))
 		return
 	}
-	if !e.reloading.CompareAndSwap(false, true) {
-		httpError(w, http.StatusConflict, fmt.Sprintf("reload of %q already in progress", name))
+	if !e.swapping.CompareAndSwap(false, true) {
+		httpError(w, http.StatusConflict, fmt.Sprintf("reload or mutation of %q already in progress", name))
 		return
 	}
-	defer e.reloading.Store(false)
+	defer e.swapping.Store(false)
 	start := time.Now()
 	eng, info, err := e.loader()
 	if err != nil {

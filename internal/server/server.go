@@ -91,6 +91,7 @@ func DefaultOptions() Options {
 //	POST /graphs/{name}/queryset
 //	GET  /graphs/{name}/stats     → per-graph metadata + counters
 //	POST /graphs/{name}/reload    → rebuild + atomically swap the engine
+//	POST /graphs/{name}/edges     → apply an edge batch + swap the engine
 //	GET  /stats                   → global serving counters
 //	GET  /healthz                 → 200 ok
 //
@@ -151,6 +152,7 @@ func NewRegistry(opts Options) *Handler {
 	h.mux.HandleFunc("GET /graphs", h.listGraphs)
 	h.mux.HandleFunc("GET /graphs/{name}/stats", h.graphStats)
 	h.mux.HandleFunc("POST /graphs/{name}/reload", h.reloadGraph)
+	h.mux.HandleFunc("POST /graphs/{name}/edges", h.mutateGraph)
 	h.mux.HandleFunc("GET /stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

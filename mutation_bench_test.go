@@ -1,0 +1,68 @@
+package tpa_test
+
+import (
+	"testing"
+
+	"tpa"
+)
+
+// Mutation benchmarks: the cost of keeping a live engine current after a
+// small edge batch. ApplyEdgesIncremental and ApplyEdgesFullRebuild apply
+// the same batch to the same graph — the only difference is the negative
+// MaxResidual forcing the fallback — so their ratio is exactly the saving
+// of the incremental reindex path tracked in BENCH_ci.json.
+
+const benchMutateNodes = 20000
+
+func benchMutationEngine(b *testing.B, o tpa.Options) *tpa.Engine {
+	b.Helper()
+	g := tpa.RandomSBMGraph(benchMutateNodes, 8, 12, 0.9, 7)
+	eng, err := tpa.New(g, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func benchBatch() (adds, removes [][2]int) {
+	// A typical "edges arrived" tick: a handful of inserts and deletes.
+	for i := 0; i < 8; i++ {
+		adds = append(adds, [2]int{i * 31, (i*17 + 5000) % benchMutateNodes})
+		removes = append(removes, [2]int{i * 13, (i*7 + 900) % benchMutateNodes})
+	}
+	return adds, removes
+}
+
+func BenchmarkApplyEdgesIncremental(b *testing.B) {
+	eng := benchMutationEngine(b, tpa.Defaults())
+	adds, removes := benchBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stats, err := eng.ApplyEdges(adds, removes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Incremental {
+			b.Fatalf("benchmark batch fell back to a full rebuild (residual %g)", stats.Residual)
+		}
+		_ = next
+	}
+}
+
+func BenchmarkApplyEdgesFullRebuild(b *testing.B) {
+	o := tpa.Defaults()
+	o.MaxResidual = -1 // disable the incremental path: every batch re-preprocesses
+	eng := benchMutationEngine(b, o)
+	adds, removes := benchBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, stats, err := eng.ApplyEdges(adds, removes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Incremental {
+			b.Fatal("full-rebuild baseline took the incremental path")
+		}
+		_ = next
+	}
+}

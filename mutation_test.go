@@ -1,0 +1,279 @@
+package tpa_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tpa"
+)
+
+func buildMutableEngine(t testing.TB, nodes int, o tpa.Options) (*tpa.Engine, *tpa.Graph) {
+	t.Helper()
+	g := tpa.RandomSBMGraph(nodes, 3, 6, 0.9, 17)
+	eng, err := tpa.New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+func TestApplyEdgesServesMutatedGraph(t *testing.T) {
+	eng, g := buildMutableEngine(t, 200, tpa.Defaults())
+	adds := [][2]int{{0, 199}, {5, 100}}
+	removes := [][2]int{{0, int(g.OutNeighbors(0)[0])}}
+
+	next, stats, err := eng.ApplyEdges(adds, removes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 2 || stats.Removed != 1 {
+		t.Fatalf("stats added/removed = %d/%d, want 2/1", stats.Added, stats.Removed)
+	}
+	if stats.Nodes != 200 {
+		t.Errorf("stats nodes = %d", stats.Nodes)
+	}
+	if want := g.NumEdges() + 1; stats.Edges != want || next.NumEdges() != want {
+		t.Errorf("edges = %d (stats %d), want %d", next.NumEdges(), stats.Edges, want)
+	}
+	if !stats.Incremental {
+		t.Errorf("small batch was not reindexed incrementally (residual %g)", stats.Residual)
+	}
+	// The receiver is untouched: copy-on-write.
+	if eng.NumEdges() != g.NumEdges() {
+		t.Error("ApplyEdges mutated the receiver")
+	}
+	// The new engine answers queries over the mutated graph within the
+	// theoretical bound.
+	o := tpa.Defaults()
+	next2, err := next.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := next2.Graph()
+	if mutated == nil {
+		t.Fatal("compacted engine has no graph")
+	}
+	if !mutated.HasEdge(0, 199) || !mutated.HasEdge(5, 100) {
+		t.Error("added edges missing from compacted graph")
+	}
+	approx, err := next.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := tpa.Exact(mutated, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1 float64
+	for i := range exact {
+		d := exact[i] - approx[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+	}
+	if l1 > next.ErrorBound() {
+		t.Errorf("post-mutation query error %g exceeds bound %g", l1, next.ErrorBound())
+	}
+}
+
+func TestApplyEdgesCompactionThreshold(t *testing.T) {
+	o := tpa.Defaults()
+	o.CompactAfter = 0.5 // generous: small batches stay on the overlay
+	eng, _ := buildMutableEngine(t, 150, o)
+
+	next, stats, err := eng.ApplyEdges([][2]int{{1, 2}, {2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compacted {
+		t.Error("tiny batch compacted despite the 0.5 threshold")
+	}
+	if stats.PendingOps == 0 {
+		t.Error("pending ops not reported for an uncompacted overlay")
+	}
+	if next.Graph() != nil {
+		t.Error("overlay engine claims a materialized graph")
+	}
+	// Snapshotting with pending mutations must fail until Compact.
+	if err := next.SaveSnapshot(&bytes.Buffer{}); err == nil {
+		t.Error("snapshot of an engine with pending mutations accepted")
+	}
+	c, err := next.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() == nil {
+		t.Fatal("compacted engine still has no graph")
+	}
+	if err := c.SaveSnapshot(&bytes.Buffer{}); err != nil {
+		t.Errorf("snapshot after Compact: %v", err)
+	}
+	// Compaction is representation-only: answers are bit-identical.
+	a, err := next.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("compaction changed answers at node %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+
+	// A batch past the threshold compacts automatically.
+	var big [][2]int
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < int(eng.NumEdges())*2; i++ {
+		big = append(big, [2]int{rng.Intn(150), rng.Intn(150)})
+	}
+	_, stats, err = next.ApplyEdges(big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Compacted {
+		t.Errorf("large batch did not compact (pending %d)", stats.PendingOps)
+	}
+	if stats.PendingOps != 0 {
+		t.Errorf("pending ops = %d after compaction", stats.PendingOps)
+	}
+}
+
+func TestApplyEdgesFullRebuildPaths(t *testing.T) {
+	// A negative MaxResidual forces the full-preprocess path.
+	o := tpa.Defaults()
+	o.MaxResidual = -1
+	eng, _ := buildMutableEngine(t, 120, o)
+	_, stats, err := eng.ApplyEdges([][2]int{{0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Incremental {
+		t.Error("negative MaxResidual still took the incremental path")
+	}
+
+	// A huge rewiring exceeds any reasonable residual and falls back too.
+	eng2, _ := buildMutableEngine(t, 120, tpa.Defaults())
+	rng := rand.New(rand.NewSource(4))
+	var batch [][2]int
+	for i := 0; i < 2000; i++ {
+		batch = append(batch, [2]int{rng.Intn(120), rng.Intn(120)})
+	}
+	_, stats, err = eng2.ApplyEdges(batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Incremental {
+		t.Errorf("massive rewiring reindexed incrementally (residual %g)", stats.Residual)
+	}
+}
+
+func TestApplyEdgesErrors(t *testing.T) {
+	eng, _ := buildMutableEngine(t, 50, tpa.Defaults())
+	if _, _, err := eng.ApplyEdges([][2]int{{0, 50}}, nil); err == nil {
+		t.Error("out-of-range add accepted")
+	}
+	if _, _, err := eng.ApplyEdges(nil, [][2]int{{-1, 0}}); err == nil {
+		t.Error("negative remove accepted")
+	}
+	// The error sentinels let callers (like the HTTP layer) classify.
+	if _, _, err := eng.ApplyEdges([][2]int{{0, 50}}, nil); !errors.Is(err, tpa.ErrBadEdge) {
+		t.Errorf("out-of-range error does not wrap ErrBadEdge: %v", err)
+	}
+	// Empty and all-no-op batches leave the graph untouched, so ApplyEdges
+	// returns the receiver itself — no reindex, no new engine.
+	next, stats, err := eng.ApplyEdges(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 0 || stats.Removed != 0 {
+		t.Errorf("empty batch reported %d/%d mutations", stats.Added, stats.Removed)
+	}
+	if next != eng {
+		t.Error("no-op batch built a new engine")
+	}
+	g := eng.Graph()
+	existing := [2]int{0, int(g.OutNeighbors(0)[0])}
+	next, stats, err = eng.ApplyEdges([][2]int{existing}, [][2]int{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("test premise broken: edge 1→0 exists")
+	}
+	if stats.Added != 0 || stats.Removed != 0 || stats.ReindexIters != 0 {
+		t.Errorf("all-no-op batch did work: %+v", stats)
+	}
+	if next != eng {
+		t.Error("all-no-op batch built a new engine")
+	}
+}
+
+func TestApplyEdgesStreamingNotMutable(t *testing.T) {
+	g := tpa.RandomSBMGraph(60, 2, 4, 0.9, 6)
+	path := filepath.Join(t.TempDir(), "g.tpae")
+	if err := tpa.CreateEdgeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tpa.NewFromEdgeFile(path, tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.ApplyEdges([][2]int{{0, 1}}, nil); !errors.Is(err, tpa.ErrNotMutable) {
+		t.Errorf("streaming ApplyEdges error does not wrap ErrNotMutable: %v", err)
+	}
+}
+
+func TestApplyEdgesChainAcrossCompactions(t *testing.T) {
+	// Mutate repeatedly through several compaction cycles and check the
+	// final engine agrees with a from-scratch engine on the final graph.
+	o := tpa.Defaults()
+	o.CompactAfter = 0.02
+	eng, _ := buildMutableEngine(t, 150, o)
+	rng := rand.New(rand.NewSource(5))
+	cur := eng
+	for step := 0; step < 6; step++ {
+		var adds [][2]int
+		for i := 0; i < 5; i++ {
+			adds = append(adds, [2]int{rng.Intn(150), rng.Intn(150)})
+		}
+		var err error
+		cur, _, err = cur.ApplyEdges(adds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := cur.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tpa.New(final.Graph(), tpa.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := final.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1 float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+	}
+	if l1 > 1e-5 {
+		t.Errorf("chained mutations drifted %g from a fresh engine", l1)
+	}
+}

@@ -10,6 +10,7 @@
 //	scores, _ := eng.Query(seed)              // online phase (per seed)
 //	top, _ := eng.TopK(seed, 100)
 //	batch, _ := eng.QueryBatch(seeds, 8)      // fan out over 8 workers
+//	eng2, _, _ := eng.ApplyEdges(adds, dels)  // evolve the graph in place
 //
 // Preprocessing runs a single PageRank-style cumulative power iteration and
 // stores one float64 per node; queries run only S propagation steps from
@@ -23,6 +24,7 @@
 package tpa
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -100,25 +102,63 @@ type Options struct {
 	// preprocessing matvec over this many row blocks, and QueryBatch/
 	// TopKBatch default to this pool size. 0 means GOMAXPROCS.
 	Workers int
+	// CompactAfter is the staleness fraction (mutations since the last
+	// compaction relative to the base edge count) at which ApplyEdges
+	// compacts the delta overlay into a fresh CSR. 0 means the default
+	// (0.1); negative compacts on every batch.
+	CompactAfter float64
+	// MaxResidual is the L1 reindex residual above which ApplyEdges
+	// abandons the incremental index correction and reruns full
+	// preprocessing. 0 means the default (core.DefaultMaxResidual);
+	// negative forces a full rebuild on every batch (useful for
+	// benchmarking the incremental path against it).
+	MaxResidual float64
 }
 
 // Defaults returns the paper's standard configuration: c = 0.15, ε = 1e-9,
 // S = 5, T = 10.
 func Defaults() Options { return Options{C: 0.15, Eps: 1e-9, S: 5, T: 10} }
 
+// defaultCompactAfter is the Options.CompactAfter default: compact once
+// pending mutations reach 10% of the base edges.
+const defaultCompactAfter = 0.1
+
 func (o Options) split() (rwr.Config, core.Params) {
 	return rwr.Config{C: o.C, Eps: o.Eps}, core.Params{S: o.S, T: o.T}
 }
 
 // Engine is a preprocessed TPA instance bound to one graph. It is safe for
-// concurrent Query/TopK calls.
+// concurrent Query/TopK calls. Engines are immutable: ApplyEdges returns a
+// NEW engine serving the mutated graph while the receiver keeps serving the
+// old one, so a server can swap engines atomically under live traffic.
 type Engine struct {
 	tpa *core.TPA
-	// walk retains the in-memory operator when the engine was built from a
-	// Graph (nil for streaming engines).
+	// walk retains the in-memory operator when the engine serves a plain
+	// CSR (nil for streaming engines and for engines carrying an
+	// uncompacted mutation overlay).
 	walk *graph.Walk
+	// dwalk is the overlay operator of an engine with pending (uncompacted)
+	// edge mutations; exactly one of walk/dwalk is non-nil for in-memory
+	// engines, both are nil for streaming engines.
+	dwalk *graph.DeltaWalk
 	// workers is the default parallelism for batch queries (0 = GOMAXPROCS).
 	workers int
+	// compactAfter / maxResidual are the mutation thresholds, resolved from
+	// Options (snapshot- and index-loaded engines use the defaults).
+	compactAfter float64
+	maxResidual  float64
+}
+
+// applyMutationOpts resolves the dynamic-update thresholds from o.
+func (e *Engine) applyMutationOpts(o Options) {
+	e.compactAfter = o.CompactAfter
+	if e.compactAfter == 0 {
+		e.compactAfter = defaultCompactAfter
+	}
+	e.maxResidual = o.MaxResidual
+	if e.maxResidual == 0 {
+		e.maxResidual = core.DefaultMaxResidual
+	}
 }
 
 // New runs TPA's preprocessing phase on g and returns a queryable Engine.
@@ -132,7 +172,9 @@ func New(g *Graph, o Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w, workers: o.Workers}, nil
+	e := &Engine{tpa: tp, walk: w, workers: o.Workers}
+	e.applyMutationOpts(o)
+	return e, nil
 }
 
 // AutoTune selects S and T for the graph (sampling a few exact queries)
@@ -149,7 +191,9 @@ func AutoTune(g *Graph, o Options, maxBound float64, sampleSeeds []int) (*Engine
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w, workers: o.Workers}, nil
+	e := &Engine{tpa: tp, walk: w, workers: o.Workers}
+	e.applyMutationOpts(o)
+	return e, nil
 }
 
 // Query returns the approximate RWR score vector for the seed node
@@ -201,7 +245,7 @@ func (e *Engine) TopKBatch(seeds []int, k, parallelism int) ([][]Entry, error) {
 }
 
 func (e *Engine) batchWorkers(parallelism int) int {
-	if e.walk == nil {
+	if e.walk == nil && e.dwalk == nil {
 		return 1 // streaming operator: single shared file cursor
 	}
 	if parallelism <= 0 {
@@ -225,13 +269,154 @@ func (e *Engine) ErrorBound() float64 { return e.tpa.ErrorBound() }
 // IndexBytes returns the size of the preprocessed data (8 bytes per node).
 func (e *Engine) IndexBytes() int64 { return e.tpa.IndexBytes() }
 
-// Graph returns the in-memory graph the engine was built on, or nil for
-// streaming engines.
+// Graph returns the in-memory CSR graph the engine serves, or nil for
+// streaming engines and for engines carrying uncompacted mutations (call
+// Compact first to materialize those as a fresh CSR).
 func (e *Engine) Graph() *Graph {
 	if e.walk == nil {
 		return nil
 	}
 	return e.walk.Graph()
+}
+
+// NumNodes returns the node count of the served graph.
+func (e *Engine) NumNodes() int { return e.tpa.Walk().N() }
+
+// NumEdges returns the edge count of the served graph, including pending
+// (uncompacted) mutations; -1 when unknown (streaming engines).
+func (e *Engine) NumEdges() int64 {
+	switch {
+	case e.dwalk != nil:
+		return e.dwalk.Delta().NumEdges()
+	case e.walk != nil:
+		return e.walk.Graph().NumEdges()
+	default:
+		return -1
+	}
+}
+
+// MutationStats reports what one ApplyEdges call did.
+type MutationStats struct {
+	// Added and Removed count the mutations that took effect (inserting an
+	// existing edge or removing a missing one is a no-op).
+	Added, Removed int
+	// Nodes and Edges describe the mutated graph the new engine serves.
+	Nodes int
+	Edges int64
+	// PendingOps is the overlay mutation count still awaiting compaction
+	// (0 right after a compacting batch).
+	PendingOps int64
+	// Compacted reports that this batch pushed staleness past CompactAfter
+	// and the overlay was merged into a fresh CSR.
+	Compacted bool
+	// Incremental reports the index was corrected incrementally rather
+	// than rebuilt by full preprocessing.
+	Incremental bool
+	// Residual is the L1 residual mass the reindex had to correct.
+	Residual float64
+	// ReindexIters is the total propagation steps the reindex spent (head
+	// recomputation plus correction, or the full-preprocess count).
+	ReindexIters int
+}
+
+// ErrNotMutable is wrapped by ApplyEdges on engines that cannot take
+// dynamic updates (streaming engines). Test with errors.Is.
+var ErrNotMutable = errors.New("tpa: engine does not support dynamic updates")
+
+// ErrBadEdge is wrapped by ApplyEdges when a batch references a node
+// outside the graph's fixed node range — a caller mistake, as opposed to
+// an internal reindexing failure. Test with errors.Is.
+var ErrBadEdge = graph.ErrBadEdge
+
+// ApplyEdges returns a new engine serving the graph with the edge batch
+// applied: every edge of adds inserted, then every edge of removes deleted.
+// The receiver is untouched and keeps answering queries, so a server can
+// atomically swap the returned engine in with zero dropped requests — the
+// same discipline as snapshot reload.
+//
+// Mutations ride on a delta overlay over the immutable CSR; once the
+// accumulated staleness passes Options.CompactAfter the overlay is merged
+// into a fresh CSR. The preprocessed index is corrected incrementally (a
+// T-step head recomputation plus a residual CPI — see core.Reindex), falling
+// back to full preprocessing when the residual exceeds Options.MaxResidual.
+// A batch whose every edge is a no-op returns the receiver itself with no
+// reindexing: the graph did not change.
+//
+// Edges must reference existing nodes — a bad id fails the whole batch
+// with an error wrapping ErrBadEdge; growing the node set requires a
+// rebuild with New. Streaming engines return an error wrapping
+// ErrNotMutable.
+func (e *Engine) ApplyEdges(adds, removes [][2]int) (*Engine, MutationStats, error) {
+	var stats MutationStats
+	var d *graph.Delta
+	var policy graph.DanglingPolicy
+	switch {
+	case e.dwalk != nil:
+		d = e.dwalk.Delta().Clone()
+		policy = e.dwalk.Policy()
+	case e.walk != nil:
+		d = graph.NewDelta(e.walk.Graph())
+		policy = e.walk.Policy()
+	default:
+		return nil, stats, fmt.Errorf("streaming engine: %w", ErrNotMutable)
+	}
+	added, removed, err := d.Apply(adds, removes)
+	if err != nil {
+		return nil, stats, fmt.Errorf("tpa: applying edges: %w", err)
+	}
+	stats.Added, stats.Removed = added, removed
+	stats.Nodes = e.NumNodes()
+	if added == 0 && removed == 0 {
+		// The whole batch was a no-op: the graph is unchanged, so the
+		// receiver is the mutated engine. No reindex, no swap needed.
+		stats.Incremental = true
+		stats.Edges = e.NumEdges()
+		if e.dwalk != nil {
+			stats.PendingOps = e.dwalk.Delta().Ops()
+		}
+		return e, stats, nil
+	}
+
+	ne := &Engine{workers: e.workers, compactAfter: e.compactAfter, maxResidual: e.maxResidual}
+	var op rwr.Operator
+	if d.Staleness() >= e.compactAfter {
+		ne.walk = graph.NewWalk(d.Compact(), policy)
+		op = ne.walk
+		stats.Compacted = true
+	} else {
+		ne.dwalk = graph.NewDeltaWalk(d, policy)
+		op = ne.dwalk
+		stats.PendingOps = d.Ops()
+	}
+	tp, rs, err := core.Reindex(e.tpa, op, e.workers, e.maxResidual)
+	if err != nil {
+		return nil, stats, fmt.Errorf("tpa: reindexing: %w", err)
+	}
+	ne.tpa = tp
+	stats.Incremental = !rs.Full
+	stats.Residual = rs.Residual
+	stats.ReindexIters = rs.Iters()
+	stats.Edges = ne.NumEdges()
+	return ne, stats, nil
+}
+
+// Compact returns an engine serving the same graph with any pending
+// mutation overlay merged into a fresh CSR (restoring Graph() and snapshot
+// support). The index is reused as-is — compaction changes the
+// representation, not the operator — so this is cheap: one O(n+m) CSR
+// rebuild, no reindexing. Engines without pending mutations are returned
+// unchanged.
+func (e *Engine) Compact() (*Engine, error) {
+	if e.dwalk == nil {
+		return e, nil
+	}
+	w := graph.NewWalk(e.dwalk.Delta().Compact(), e.dwalk.Policy())
+	tp, err := e.tpa.WithOperator(w)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: compacting: %w", err)
+	}
+	return &Engine{tpa: tp, walk: w, workers: e.workers,
+		compactAfter: e.compactAfter, maxResidual: e.maxResidual}, nil
 }
 
 // SaveIndex serializes the preprocessed state so it can be shipped to query
@@ -245,7 +430,9 @@ func LoadIndex(r io.Reader, g *Graph) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading index: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w}, nil
+	e := &Engine{tpa: tp, walk: w}
+	e.applyMutationOpts(Options{})
+	return e, nil
 }
 
 // ErrBadSnapshot is wrapped by every snapshot/index decode failure caused
@@ -257,8 +444,12 @@ var ErrBadSnapshot = graph.ErrBadSnapshot
 // SaveSnapshot writes a combined binary snapshot of the graph and the
 // preprocessed index, so LoadSnapshot cold-starts an identical engine with
 // two sequential reads — no edge-list parsing and no re-preprocessing.
-// Streaming engines (NewFromEdgeFile) cannot snapshot.
+// Streaming engines (NewFromEdgeFile) cannot snapshot; engines with pending
+// mutations must Compact first.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if e.dwalk != nil {
+		return fmt.Errorf("tpa: engine has pending mutations; Compact() before snapshotting")
+	}
 	if e.walk == nil {
 		return fmt.Errorf("tpa: streaming engines cannot be snapshotted")
 	}
@@ -272,7 +463,9 @@ func LoadSnapshot(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading snapshot: %w", err)
 	}
-	return &Engine{tpa: tp, walk: w}, nil
+	e := &Engine{tpa: tp, walk: w}
+	e.applyMutationOpts(Options{})
+	return e, nil
 }
 
 // SaveSnapshotFile writes the engine's combined snapshot to path. The
@@ -319,7 +512,9 @@ func LoadSnapshotFile(path string) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading snapshot %s: %w", path, err)
 	}
-	return &Engine{tpa: tp, walk: w}, nil
+	e := &Engine{tpa: tp, walk: w}
+	e.applyMutationOpts(Options{})
+	return e, nil
 }
 
 // CreateEdgeFile converts g to the binary streaming format at path, for
