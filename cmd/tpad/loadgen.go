@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tpa/internal/loadgen"
+)
+
+// cmdLoadgen drives an open-loop load run against a running tpad server and
+// prints (or writes) the report. Exit status doubles as the CI SLO gate:
+// non-zero when -max-error-rate or -max-p99-ms is violated, so a pipeline
+// step is just "tpad loadgen ... || exit 1".
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "base URL of the tpad server")
+	graph := fs.String("graph", "", "named graph to target (empty = default graph)")
+	qps := fs.Float64("qps", 100, "steady-state arrival rate")
+	ramp := fs.Duration("ramp", 0, "linear ramp 0 → qps over this leading portion of the run")
+	duration := fs.Duration("duration", 30*time.Second, "total run length including the ramp")
+	zipfS := fs.Float64("zipf-s", 1.0, "Zipf seed-popularity exponent (0 = uniform)")
+	seeds := fs.Int("seeds", 0, "seed id space [0,n); 0 = detect from the server's /stats")
+	k := fs.Int("k", 10, "top-k per query")
+	deadlineMS := fs.Int("deadline-ms", 0, "X-TPA-Deadline-Ms to stamp on every request (0 = none)")
+	maxInflight := fs.Int("max-inflight", 4096, "client-side cap on outstanding requests (arrivals beyond it are dropped, not delayed)")
+	jsonOut := fs.String("json", "", "write the report JSON to this file ('-' = stdout)")
+	maxErrRate := fs.Float64("max-error-rate", -1, "SLO gate: exit non-zero if error_rate exceeds this (-1 disables)")
+	maxP99MS := fs.Float64("max-p99-ms", -1, "SLO gate: exit non-zero if p99 of answered requests exceeds this (-1 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		URL:         *url,
+		Graph:       *graph,
+		QPS:         *qps,
+		Ramp:        *ramp,
+		Duration:    *duration,
+		ZipfS:       *zipfS,
+		Seeds:       *seeds,
+		K:           *k,
+		DeadlineMs:  *deadlineMS,
+		MaxInFlight: *maxInflight,
+		Seed:        1,
+	}
+	if cfg.Seeds == 0 {
+		n, err := loadgen.DetectSeeds(http.DefaultClient, *url, *graph)
+		if err != nil {
+			return fmt.Errorf("loadgen: %w (is the server up? or pass -seeds)", err)
+		}
+		cfg.Seeds = n
+		fmt.Fprintf(os.Stderr, "loadgen: detected %d seeds from %s\n", n, *url)
+	}
+	runner, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "loadgen: %v at %.0f QPS (ramp %v) against %s\n", *duration, *qps, *ramp, *url)
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	switch *jsonOut {
+	case "":
+	case "-":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	default:
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("loadgen: writing report: %w", err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests in %.1fs — %.0f/%.0f QPS achieved, %d ok, %d shed (%.2f%%), %d errors (%.2f%%), %d dropped, %d partial\n",
+		rep.Requests, rep.DurationSec, rep.AchievedQPS, rep.TargetQPS,
+		rep.OK, rep.Shed, rep.ShedRate*100, rep.Errors, rep.ErrorRate*100, rep.Dropped, rep.Partial)
+	fmt.Fprintf(os.Stderr,
+		"loadgen: latency(ok) p50 %.2fms p95 %.2fms p99 %.2fms p999 %.2fms max %.2fms\n",
+		rep.LatencyOK.P50, rep.LatencyOK.P95, rep.LatencyOK.P99, rep.LatencyOK.P999, rep.LatencyOK.Max)
+
+	// SLO gate.
+	var violations []string
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		violations = append(violations, fmt.Sprintf("error_rate %.4f > %.4f", rep.ErrorRate, *maxErrRate))
+	}
+	if *maxP99MS >= 0 && rep.LatencyOK.P99 > *maxP99MS {
+		violations = append(violations, fmt.Sprintf("p99 %.2fms > %.2fms", rep.LatencyOK.P99, *maxP99MS))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("SLO violated: %v", violations)
+	}
+	return nil
+}

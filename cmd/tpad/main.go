@@ -4,6 +4,7 @@
 //	tpad serve -graphs snapshots/ [-addr :8080] [-cache 4096] [-max-inflight 256]
 //	tpad serve -graph edges.tsv [-index prebuilt.idx] [...]
 //	tpad mutate -graph name [-add u,v]... [-remove u,v]... [-file f | -watch f]
+//	tpad loadgen -url http://host:8080 [-qps 100 -duration 30s -zipf-s 1.0]
 //	tpad -graph edges.tsv [...]                  (legacy alias for "serve")
 //
 // build runs preprocessing once and writes a combined graph+index snapshot
@@ -48,6 +49,8 @@ func main() {
 		err = cmdServe(args[1:])
 	case len(args) > 0 && args[0] == "mutate":
 		err = cmdMutate(args[1:])
+	case len(args) > 0 && args[0] == "loadgen":
+		err = cmdLoadgen(args[1:])
 	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
 		usage()
 		return
@@ -68,11 +71,16 @@ func usage() {
   tpad serve -graph <edges.tsv> [-index <in.idx>] [-addr :8080] [serving flags]
   tpad mutate -graph <name>     [-server URL] [-add u,v]... [-remove u,v]... [-file f]
   tpad mutate -graph <name>     [-server URL] -watch <file> [-interval 1s]
+  tpad loadgen -url <URL>       [-qps 100] [-ramp 0s] [-duration 30s] [-zipf-s 1.0]
+                                [-seeds 0] [-k 10] [-deadline-ms 0] [-json out.json]
+                                [-max-error-rate R] [-max-p99-ms MS]
 
-serving flags: -workers N -cache N -max-inflight N -max-batch N -c -eps -s -t
+serving flags: -workers N -cache N -max-inflight N -max-batch N -default-deadline D -c -eps -s -t
 "tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".
 mutate posts edge batches to a running server's POST /graphs/{name}/edges;
--watch follows a growing mutation file ("+ u v" / "- u v" lines) until ^C.`)
+-watch follows a growing mutation file ("+ u v" / "- u v" lines) until ^C.
+loadgen drives an open-loop Zipf workload against a running server and exits
+non-zero when -max-error-rate or -max-p99-ms is violated (the CI SLO gate).`)
 }
 
 func tpaOpts(fs *flag.FlagSet) *tpa.Options {
@@ -157,6 +165,7 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 4096, "top-k LRU cache entries per graph (0 disables caching)")
 	maxInflight := fs.Int("max-inflight", 256, "concurrent query requests before shedding 503s (0 = unlimited)")
 	maxBatch := fs.Int("max-batch", 4096, "max seeds per /batch or /queryset request (0 = unlimited)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "per-query budget when no X-TPA-Deadline-Ms header is sent; expired queries return partial answers (0 = none)")
 	o := tpaOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,10 +182,11 @@ func cmdServe(args []string) error {
 	}
 
 	h := server.NewRegistry(server.Options{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		MaxInFlight: *maxInflight,
-		MaxBatch:    *maxBatch,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		MaxInFlight:     *maxInflight,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *defaultDeadline,
 	})
 	if *graphsDir != "" {
 		if err := registerDir(h, *graphsDir, *o); err != nil {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"tpa/internal/sparse"
+)
+
+// This file implements deadline-bounded ("anytime") queries. The CPI
+// decomposition makes a partial answer principled: the online phase
+// accumulates the family head one propagation step at a time, and stopping
+// after S' < S steps is exactly a TPA instance with split point S' — still
+// covered by Theorem 2, just with the looser bound 2(1-c)^S'. So when a
+// query's context expires mid-computation we do not throw the work away or
+// fail the request: we rescale the head computed so far with the Lemma-2
+// masses for S', add the shared stranger vector, and report the bound the
+// caller actually got.
+
+// QueryMeta describes how a deadline-aware query completed.
+type QueryMeta struct {
+	// Partial reports that the context expired before all S-1 propagation
+	// steps ran and the answer is a reduced-S TPA approximation.
+	Partial bool
+	// EffectiveS is the split point actually realized: S when the query
+	// completed, the number of accumulated head iterations (≥ 1) when it
+	// was cut short.
+	EffectiveS int
+	// Steps is the number of propagation steps executed (EffectiveS - 1).
+	Steps int
+	// Bound is the a-priori L1 error bound of Theorem 2 for the answer as
+	// returned: 2(1-c)^EffectiveS.
+	Bound float64
+}
+
+// queryIntoDeadline is queryInto with a context check between propagation
+// steps. It writes the combined (possibly reduced-S) r_TPA into dst and
+// reports the realized split point. The seed distribution must already be
+// in sc.q; dst and the scratch vectors must have length N.
+func (t *TPA) queryIntoDeadline(ctx context.Context, seeds []int, dst sparse.Vector, sc *queryScratch) QueryMeta {
+	sc.q.Zero()
+	share := 1 / float64(len(seeds))
+	for _, s := range seeds {
+		sc.q[s] += share
+	}
+	x := sc.q.Scale(t.cfg.C) // x(0)
+	buf := sc.buf
+	dst.Zero()
+	dst.Add(x)
+	effS := 1
+	for i := 1; i <= t.params.S-1; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		t.walk.MulT(x, buf)
+		buf.Scale(1 - t.cfg.C)
+		x, buf = buf, x
+		dst.Add(x)
+		effS = i + 1
+		if x.L1() < t.cfg.Eps {
+			// Converged early: the head is exact to ε, same contract as the
+			// full query path.
+			effS = t.params.S
+			break
+		}
+	}
+	// Rescale the S'-step head by the Lemma-2 masses for S' and fold in the
+	// stranger tail, exactly as Algorithm 3 does for the full S.
+	famMass, neighMass, _ := PartMasses(t.cfg.C, effS, t.params.T)
+	scale := 1.0
+	if famMass > 0 {
+		scale = 1 + neighMass/famMass
+	}
+	for i, f := range dst {
+		dst[i] = f*scale + t.stranger[i]
+	}
+	return QueryMeta{
+		Partial:    effS < t.params.S,
+		EffectiveS: effS,
+		Steps:      effS - 1,
+		Bound:      TheoremTwoBound(t.cfg.C, effS),
+	}
+}
+
+// QueryDeadline is Query honoring ctx: if the context expires mid-query the
+// head computed so far is returned as a valid reduced-S approximation,
+// flagged Partial with its own Theorem-2 bound. A context that is already
+// expired still yields the cheapest useful answer (S' = 1: the scaled seed
+// distribution plus the stranger tail, bound 2(1-c)).
+func (t *TPA) QueryDeadline(ctx context.Context, seed int) (sparse.Vector, QueryMeta, error) {
+	if seed < 0 || seed >= t.walk.N() {
+		return nil, QueryMeta{}, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	}
+	dst := sparse.NewVector(t.walk.N())
+	sc := t.getScratch()
+	meta := t.queryIntoDeadline(ctx, []int{seed}, dst, sc)
+	t.putScratch(sc)
+	return dst, meta, nil
+}
+
+// TopKDeadline is TopK honoring ctx, with the same partial-answer contract
+// as QueryDeadline. The full score vector never leaves the scratch pool.
+func (t *TPA) TopKDeadline(ctx context.Context, seed, k int) ([]sparse.Entry, QueryMeta, error) {
+	if seed < 0 || seed >= t.walk.N() {
+		return nil, QueryMeta{}, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	}
+	sc := t.getScratch()
+	meta := t.queryIntoDeadline(ctx, []int{seed}, sc.out, sc)
+	top := sc.out.TopK(k)
+	t.putScratch(sc)
+	return top, meta, nil
+}
+
+// QuerySetDeadline is QuerySet honoring ctx (uniform restart over the seed
+// set), with the partial-answer contract of QueryDeadline.
+func (t *TPA) QuerySetDeadline(ctx context.Context, seeds []int) (sparse.Vector, QueryMeta, error) {
+	if len(seeds) == 0 {
+		return nil, QueryMeta{}, fmt.Errorf("core: empty seed set")
+	}
+	if err := t.checkSeeds(seeds); err != nil {
+		return nil, QueryMeta{}, err
+	}
+	dst := sparse.NewVector(t.walk.N())
+	sc := t.getScratch()
+	meta := t.queryIntoDeadline(ctx, seeds, dst, sc)
+	t.putScratch(sc)
+	return dst, meta, nil
+}
+
+// TopKBatchDeadline is TopKBatch honoring ctx: every seed's query checks the
+// shared context between propagation steps, so a batch straddling its
+// deadline degrades per seed (early seeds complete, late seeds come back
+// partial) instead of failing wholesale. Metas[i] describes seeds[i].
+func (t *TPA) TopKBatchDeadline(ctx context.Context, seeds []int, k, parallelism int) ([][]sparse.Entry, []QueryMeta, error) {
+	if err := t.checkSeeds(seeds); err != nil {
+		return nil, nil, err
+	}
+	out := make([][]sparse.Entry, len(seeds))
+	metas := make([]QueryMeta, len(seeds))
+	t.runBatch(seeds, parallelism, func(i int, sc *queryScratch) {
+		metas[i] = t.queryIntoDeadline(ctx, seeds[i:i+1], sc.out, sc)
+		out[i] = sc.out.TopK(k)
+	})
+	return out, metas, nil
+}

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style latency histogram: log₂ major buckets each split
+// into 32 linear sub-buckets, covering 1µs … ~35min with ≤ 3.2% relative
+// error per recorded value. Recording is a single atomic increment, so any
+// number of workers share one Hist without coordination; quantile queries
+// scan the (fixed, small) bucket array.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per power of two
+	histSub     = 1 << histSubBits
+	histMajors  = 27 // top bucket spans up to 2^31 µs ≈ 36 min
+	histBuckets = histMajors * histSub
+)
+
+// histIndex maps a duration to its bucket. Values are quantized in
+// microseconds; anything below 1µs lands in bucket 0, anything above the
+// ceiling clamps to the last bucket.
+func histIndex(d time.Duration) int {
+	us := int64(d / time.Microsecond)
+	if us < histSub {
+		return int(us) // the first major is linear 0..31µs
+	}
+	major := 63 - bits.LeadingZeros64(uint64(us)) // floor(log2 us)
+	if major >= histMajors+histSubBits-1 {
+		return histBuckets - 1
+	}
+	sub := (us >> (major - histSubBits)) - histSub // top 5 bits below the MSB
+	return int(int64(major-histSubBits)*histSub) + int(sub) + histSub
+}
+
+// histUpper returns the inclusive upper bound of bucket i, the value
+// quantiles report.
+func histUpper(i int) time.Duration {
+	if i < histSub {
+		return time.Duration(i) * time.Microsecond
+	}
+	major := i/histSub + histSubBits - 1
+	sub := int64(i%histSub) + histSub
+	us := (sub + 1) << (major - histSubBits)
+	return time.Duration(us-1) * time.Microsecond
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean of recorded observations (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Max returns the largest recorded observation.
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+// Quantile returns the smallest bucket upper bound below which at least
+// q·Count observations fall, for q in [0,1]. The answer overstates the true
+// quantile by at most one bucket width (≤ 3.2%).
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return histUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Quantiles is the fixed set of latency percentiles a Report carries, in
+// milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Summary renders the standard quantile set.
+func (h *Hist) Summary() Quantiles {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Quantiles{
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P95:  ms(h.Quantile(0.95)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Max:  ms(h.Max()),
+		Mean: ms(h.Mean()),
+	}
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Quantiles must agree with a sorted reference within the histogram's
+// resolution: one sub-bucket (≤ 1/32 ≈ 3.2% relative) plus the 1µs
+// quantization floor.
+func TestHistQuantileAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Hist
+	// Mix of scales: sub-millisecond cache hits, multi-ms queries, rare
+	// multi-second stragglers — the shape a real run records.
+	samples := make([]time.Duration, 0, 30000)
+	for i := 0; i < 20000; i++ {
+		samples = append(samples, time.Duration(50+rng.Intn(900))*time.Microsecond)
+	}
+	for i := 0; i < 9000; i++ {
+		samples = append(samples, time.Duration(1+rng.Intn(50))*time.Millisecond)
+	}
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, time.Duration(1+rng.Intn(4))*time.Second)
+	}
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	for _, d := range samples {
+		h.Record(d)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		idx := int(float64(len(sorted))*q) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		want := sorted[idx]
+		got := h.Quantile(q)
+		lo := want - want/16 - 2*time.Microsecond
+		hi := want + want/16 + 2*time.Microsecond
+		if got < lo || got > hi {
+			t.Errorf("q=%v: histogram %v outside [%v, %v] around exact %v", q, got, lo, hi, want)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Errorf("count %d, want %d", h.Count(), len(samples))
+	}
+	if max := h.Max(); max != sorted[len(sorted)-1] {
+		t.Errorf("max %v, want %v", max, sorted[len(sorted)-1])
+	}
+}
+
+// Bucket mapping must be monotonic with inverse-consistent bounds: a value
+// always lands in a bucket whose upper bound is ≥ the value, and the
+// reported bound never overstates by more than a sub-bucket.
+func TestHistBucketBounds(t *testing.T) {
+	prev := -1
+	for us := int64(0); us < 5_000_000; us = us*5/4 + 1 {
+		d := time.Duration(us) * time.Microsecond
+		i := histIndex(d)
+		if i < prev {
+			t.Fatalf("bucket index regressed at %v: %d < %d", d, i, prev)
+		}
+		prev = i
+		upper := histUpper(i)
+		if upper < d {
+			t.Errorf("%v mapped to bucket %d with upper bound %v < value", d, i, upper)
+		}
+		if d > 32*time.Microsecond && upper > d+d/16 {
+			t.Errorf("%v mapped to bucket with upper bound %v (> 1/16 overshoot)", d, upper)
+		}
+	}
+	// Out-of-range values clamp instead of panicking.
+	var h Hist
+	h.Record(-time.Second)
+	h.Record(2 * time.Hour)
+	if h.Count() != 2 {
+		t.Fatal("clamped values not recorded")
+	}
+}
+
+// Concurrent recording must lose nothing (run under -race).
+func TestHistConcurrentRecord(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count %d, want %d", h.Count(), workers*per)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.5) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram reports non-zero summary")
+	}
+}

@@ -1,0 +1,319 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// URL is the server base, e.g. "http://localhost:8080".
+	URL string
+	// Graph routes requests to /graphs/{Graph}/topk; empty uses the bare
+	// /topk route (the default graph).
+	Graph string
+	// QPS is the steady-state target arrival rate (required, > 0).
+	QPS float64
+	// Ramp linearly grows the arrival rate from ~0 to QPS over this
+	// leading portion of the run; 0 starts at full rate.
+	Ramp time.Duration
+	// Duration is the total run length including the ramp (required, > 0).
+	Duration time.Duration
+	// ZipfS is the seed-popularity exponent (0 = uniform; ~0.8–1.1 matches
+	// measured request skews).
+	ZipfS float64
+	// Seeds is the seed id space [0, Seeds); required, > 0. DetectSeeds
+	// can fill it from a running server.
+	Seeds int
+	// K is the top-k per query (default 10).
+	K int
+	// DeadlineMs, when > 0, stamps X-TPA-Deadline-Ms on every request and
+	// counts partial answers.
+	DeadlineMs int
+	// MaxInFlight caps concurrently outstanding requests on the client
+	// side (default 4096). The arrival schedule never blocks on it: an
+	// arrival finding no free slot is counted Dropped and skipped, keeping
+	// the generator open-loop even when the server stops answering.
+	MaxInFlight int
+	// Seed seeds every RNG in the run; runs with equal configs issue the
+	// same request sequence.
+	Seed int64
+	// Client overrides the http.Client (tests inject one); nil builds a
+	// client with a generous per-request timeout and enough idle
+	// connections to sustain MaxInFlight.
+	Client *http.Client
+}
+
+func (c *Config) validate() error {
+	if c.URL == "" {
+		return fmt.Errorf("loadgen: URL is required")
+	}
+	if c.QPS <= 0 {
+		return fmt.Errorf("loadgen: QPS %v must be positive", c.QPS)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration %v must be positive", c.Duration)
+	}
+	if c.Seeds <= 0 {
+		return fmt.Errorf("loadgen: seed space %d must be positive (use DetectSeeds)", c.Seeds)
+	}
+	if c.Ramp < 0 || c.Ramp > c.Duration {
+		return fmt.Errorf("loadgen: ramp %v outside [0, duration %v]", c.Ramp, c.Duration)
+	}
+	return nil
+}
+
+// Report is the outcome of a run; it marshals to the JSON artifact the CI
+// SLO gate consumes.
+type Report struct {
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	RampSec     float64 `json:"ramp_sec"`
+	ZipfS       float64 `json:"zipf_s"`
+	Seeds       int     `json:"seeds"`
+
+	// Requests = OK + Shed + Errors; Dropped arrivals never left the
+	// client and are tracked separately.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`    // HTTP 503: server-side admission control
+	Errors   int64 `json:"errors"`  // transport failures + non-200/503 statuses
+	Dropped  int64 `json:"dropped"` // client-side: MaxInFlight exhausted
+	Partial  int64 `json:"partial"` // 200s flagged partial (deadline expired)
+
+	ErrorRate float64 `json:"error_rate"` // Errors / Requests
+	ShedRate  float64 `json:"shed_rate"`  // Shed / Requests
+
+	// Latency quantiles of requests that got any HTTP response.
+	Latency Quantiles `json:"latency"`
+	// LatencyOK restricts to 200s — the latency users who got answers saw.
+	LatencyOK Quantiles `json:"latency_ok"`
+}
+
+// topkResponse is the slice of the server answer the generator inspects.
+type topkResponse struct {
+	Partial bool `json:"partial"`
+}
+
+// Runner drives one load run.
+type Runner struct {
+	cfg    Config
+	client *http.Client
+	path   string
+
+	hist    Hist
+	histOK  Hist
+	ok      atomic.Int64
+	shed    atomic.Int64
+	errs    atomic.Int64
+	dropped atomic.Int64
+	partial atomic.Int64
+}
+
+// New validates cfg and builds a Runner.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.MaxInFlight,
+				MaxIdleConnsPerHost: cfg.MaxInFlight,
+			},
+		}
+	}
+	path := cfg.URL + "/topk"
+	if cfg.Graph != "" {
+		path = cfg.URL + "/graphs/" + cfg.Graph + "/topk"
+	}
+	return &Runner{cfg: cfg, client: client, path: path}, nil
+}
+
+// arrivalOffset returns the scheduled offset of the i-th arrival (0-based)
+// from the run start, inverting the cumulative arrival curve: during the
+// ramp the rate grows linearly 0 → QPS, so N(t) = QPS·t²/(2·Ramp); after it
+// N(t) = N(Ramp) + QPS·(t−Ramp).
+func (r *Runner) arrivalOffset(i int64) time.Duration {
+	q := r.cfg.QPS
+	ramp := r.cfg.Ramp.Seconds()
+	k := float64(i) + 1 // arrivals are counted from 1 in the inversion
+	if ramp > 0 {
+		rampArrivals := q * ramp / 2
+		if k <= rampArrivals {
+			t := ramp * math.Sqrt(k/rampArrivals)
+			return time.Duration(t * float64(time.Second))
+		}
+		t := ramp + (k-rampArrivals)/q
+		return time.Duration(t * float64(time.Second))
+	}
+	return time.Duration(k / q * float64(time.Second))
+}
+
+// Run executes the load run and returns its report. ctx cancels early
+// (already-issued requests are awaited). Safe to call once per Runner.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	total := int64(r.cfg.QPS * (r.cfg.Duration - r.cfg.Ramp).Seconds())
+	if r.cfg.Ramp > 0 {
+		total += int64(r.cfg.QPS * r.cfg.Ramp.Seconds() / 2)
+	}
+	if total < 1 {
+		total = 1
+	}
+	zipf, err := NewZipf(r.cfg.Seeds, r.cfg.ZipfS, r.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	slots := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+dispatch:
+	for i := int64(0); i < total; i++ {
+		due := r.arrivalOffset(i)
+		wait := due - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		seed := zipf.Next()
+		select {
+		case slots <- struct{}{}:
+		default:
+			// Open-loop discipline: never delay the schedule waiting for a
+			// free slot — count the arrival as dropped and move on.
+			r.dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			r.issue(ctx, seed)
+		}(seed)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return r.report(elapsed), nil
+}
+
+func (r *Runner) issue(ctx context.Context, seed int) {
+	url := fmt.Sprintf("%s?seed=%d&k=%d", r.path, seed, r.cfg.K)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		r.errs.Add(1)
+		return
+	}
+	if r.cfg.DeadlineMs > 0 {
+		req.Header.Set("X-TPA-Deadline-Ms", fmt.Sprint(r.cfg.DeadlineMs))
+	}
+	t0 := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.errs.Add(1)
+		return
+	}
+	lat := time.Since(t0)
+	r.hist.Record(lat)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		r.ok.Add(1)
+		r.histOK.Record(lat)
+		if r.cfg.DeadlineMs > 0 {
+			var body topkResponse
+			if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Partial {
+				r.partial.Add(1)
+			}
+		}
+	case http.StatusServiceUnavailable:
+		r.shed.Add(1)
+	default:
+		r.errs.Add(1)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func (r *Runner) report(elapsed time.Duration) *Report {
+	ok, shed, errs := r.ok.Load(), r.shed.Load(), r.errs.Load()
+	requests := ok + shed + errs
+	rep := &Report{
+		TargetQPS:   r.cfg.QPS,
+		DurationSec: elapsed.Seconds(),
+		RampSec:     r.cfg.Ramp.Seconds(),
+		ZipfS:       r.cfg.ZipfS,
+		Seeds:       r.cfg.Seeds,
+		Requests:    requests,
+		OK:          ok,
+		Shed:        shed,
+		Errors:      errs,
+		Dropped:     r.dropped.Load(),
+		Partial:     r.partial.Load(),
+		Latency:     r.hist.Summary(),
+		LatencyOK:   r.histOK.Summary(),
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(requests) / elapsed.Seconds()
+	}
+	if requests > 0 {
+		rep.ErrorRate = float64(errs) / float64(requests)
+		rep.ShedRate = float64(shed) / float64(requests)
+	}
+	return rep
+}
+
+// DetectSeeds asks a running server for the node count of the graph the run
+// will target, so -seeds can default to "the whole graph".
+func DetectSeeds(client *http.Client, baseURL, graph string) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := baseURL + "/stats"
+	if graph != "" {
+		url = baseURL + "/graphs/" + graph + "/stats"
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: detecting seed space: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("loadgen: detecting seed space: %s returned %d", url, resp.StatusCode)
+	}
+	var body struct {
+		Graph struct {
+			Nodes int `json:"nodes"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, fmt.Errorf("loadgen: decoding %s: %w", url, err)
+	}
+	if body.Graph.Nodes <= 0 {
+		return 0, fmt.Errorf("loadgen: %s reported %d nodes; pass an explicit seed count", url, body.Graph.Nodes)
+	}
+	return body.Graph.Nodes, nil
+}

@@ -1,0 +1,209 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer answers /topk-shaped requests instantly (or after a fixed
+// delay) and counts what it saw.
+func stubServer(delay time.Duration, hits *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"seed":%s,"results":[]}`, r.URL.Query().Get("seed"))
+	}))
+}
+
+// The arrival schedule is a pure function; verify its shape exactly before
+// trusting wall-clock runs: monotone offsets, the last arrival landing at
+// the configured duration, and the ramp phase holding its arrival budget.
+func TestArrivalSchedule(t *testing.T) {
+	r, err := New(Config{URL: "http://x", QPS: 400, Duration: 2 * time.Second,
+		Ramp: time.Second, Seeds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(400*1 + 400/2) // steady second + ramp half-area
+	var prev time.Duration
+	inRamp := 0
+	for i := int64(0); i < total; i++ {
+		off := r.arrivalOffset(i)
+		if off < prev {
+			t.Fatalf("arrival %d scheduled at %v, before previous %v", i, off, prev)
+		}
+		prev = off
+		if off < time.Second {
+			inRamp++
+		}
+	}
+	if math.Abs(float64(prev)-float64(2*time.Second)) > float64(20*time.Millisecond) {
+		t.Errorf("last arrival at %v, want ≈2s", prev)
+	}
+	// The ramp holds q·R/2 = 200 arrivals (±1 for boundary rounding).
+	if inRamp < 199 || inRamp > 201 {
+		t.Errorf("%d arrivals during the 1s ramp, want ≈200", inRamp)
+	}
+	// Without a ramp the schedule is uniform: spacing 1/q.
+	r2, _ := New(Config{URL: "http://x", QPS: 1000, Duration: time.Second, Seeds: 10})
+	if got, want := r2.arrivalOffset(499)-r2.arrivalOffset(498), time.Millisecond; got != want {
+		t.Errorf("steady spacing %v, want %v", got, want)
+	}
+}
+
+// Open-loop schedule accuracy on a live stub: achieved QPS must land within
+// 5% of target when the server keeps up.
+func TestOpenLoopScheduleAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock schedule test")
+	}
+	var hits atomic.Int64
+	srv := stubServer(0, &hits)
+	defer srv.Close()
+
+	const qps = 500.0
+	r, err := New(Config{URL: srv.URL, QPS: qps, Duration: 2 * time.Second,
+		Seeds: 1000, ZipfS: 1.0, Seed: 3, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != hits.Load() {
+		t.Errorf("report counts %d requests, server saw %d", rep.Requests, hits.Load())
+	}
+	if rep.Errors != 0 || rep.Shed != 0 || rep.Dropped != 0 {
+		t.Errorf("unexpected failures: %+v", rep)
+	}
+	if dev := math.Abs(rep.AchievedQPS-qps) / qps; dev > 0.05 {
+		t.Errorf("achieved %.1f QPS vs target %.0f: %.1f%% off (want ≤5%%)", rep.AchievedQPS, qps, dev*100)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Errorf("implausible latency summary %+v", rep.Latency)
+	}
+}
+
+// When the server stalls, the schedule must not: arrivals beyond the client
+// in-flight cap are dropped, the run still ends on time, and the accounting
+// conserves (scheduled = answered + dropped).
+func TestOpenLoopNeverBlocksOnSlowServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock schedule test")
+	}
+	srv := stubServer(300*time.Millisecond, nil)
+	defer srv.Close()
+
+	r, err := New(Config{URL: srv.URL, QPS: 200, Duration: time.Second,
+		Seeds: 100, MaxInFlight: 4, Seed: 5, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Error("slow server with in-flight cap 4 dropped nothing — schedule blocked?")
+	}
+	if got := rep.Requests + rep.Dropped; got != 200 {
+		t.Errorf("scheduled arrivals: %d answered + %d dropped = %d, want 200", rep.Requests, rep.Dropped, got)
+	}
+	// 1s schedule + 300ms trailing responses, not 200·300ms of serial waits.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("run took %v: the arrival schedule blocked on the server", elapsed)
+	}
+}
+
+// Status classification: 503 → Shed, 5xx → Errors, partial 200s counted.
+func TestStatusClassification(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch n.Add(1) % 4 {
+		case 0:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 1:
+			w.WriteHeader(http.StatusInternalServerError)
+		case 2:
+			fmt.Fprint(w, `{"seed":1,"results":[],"partial":true,"residual_bound":0.9}`)
+		default:
+			fmt.Fprint(w, `{"seed":1,"results":[]}`)
+		}
+	}))
+	defer srv.Close()
+
+	r, err := New(Config{URL: srv.URL, QPS: 2000, Duration: 50 * time.Millisecond,
+		Seeds: 10, DeadlineMs: 5, Seed: 9, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != rep.OK+rep.Shed+rep.Errors {
+		t.Errorf("request accounting does not conserve: %+v", rep)
+	}
+	if rep.Shed == 0 || rep.Errors == 0 || rep.Partial == 0 {
+		t.Errorf("classification missed a status class: %+v", rep)
+	}
+	if rep.Partial > rep.OK {
+		t.Errorf("more partial answers (%d) than 200s (%d)", rep.Partial, rep.OK)
+	}
+}
+
+func TestDetectSeeds(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/stats":
+			fmt.Fprint(w, `{"graph":{"nodes":12345}}`)
+		case "/graphs/g2/stats":
+			fmt.Fprint(w, `{"graph":{"nodes":77}}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	if n, err := DetectSeeds(srv.Client(), srv.URL, ""); err != nil || n != 12345 {
+		t.Errorf("default graph: n=%d err=%v", n, err)
+	}
+	if n, err := DetectSeeds(srv.Client(), srv.URL, "g2"); err != nil || n != 77 {
+		t.Errorf("named graph: n=%d err=%v", n, err)
+	}
+	if _, err := DetectSeeds(srv.Client(), srv.URL, "missing"); err == nil {
+		t.Error("missing graph accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{URL: "http://x", QPS: 10, Duration: time.Second, Seeds: 5}
+	bad := []Config{
+		{},
+		{URL: "http://x", QPS: 0, Duration: time.Second, Seeds: 5},
+		{URL: "http://x", QPS: 10, Duration: 0, Seeds: 5},
+		{URL: "http://x", QPS: 10, Duration: time.Second, Seeds: 0},
+		{URL: "http://x", QPS: 10, Duration: time.Second, Seeds: 5, Ramp: 2 * time.Second},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package loadgen is an open-loop HTTP load generator for the TPA query
+// server: it issues requests on a fixed arrival schedule derived from a
+// target QPS (with an optional linear ramp), draws seeds from a Zipf
+// popularity distribution — the skewed access pattern real RWR serving
+// sees — and records latencies in an HDR-style log-bucketed histogram so
+// the report carries meaningful tail quantiles (p50/p95/p99/p999), not
+// just means.
+//
+// Open loop matters: a closed-loop client (issue, wait, issue) slows down
+// with the server and hides saturation — the coordinated-omission trap. The
+// schedule here never waits for responses; when the server falls behind,
+// latency and shed counts rise, which is exactly the signal an SLO gate
+// needs.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks from a Zipf(s) distribution over [0, n): rank r is
+// drawn with probability proportional to 1/(r+1)^s. s = 0 degenerates to
+// uniform. Unlike math/rand's Zipf it accepts any s ≥ 0 (real request skews
+// are often measured near s ≈ 0.8–1.1, below rand.Zipf's s > 1 floor) and
+// maps ranks onto node ids through a deterministic permutation, so the
+// "hot" nodes are spread across the id space instead of clustered at 0.
+//
+// A Zipf is not safe for concurrent use; give each goroutine its own via
+// Fork.
+type Zipf struct {
+	rng  *rand.Rand
+	cdf  []float64 // cumulative rank probabilities, cdf[n-1] == 1
+	perm []int32   // rank → node id
+	s    float64
+}
+
+// NewZipf builds a sampler over n items with exponent s, seeded
+// deterministically.
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf over %d items", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("loadgen: zipf exponent %v must be a finite value ≥ 0", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := &Zipf{rng: rng, s: s, cdf: make([]float64, n), perm: make([]int32, n)}
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		z.cdf[r] = sum
+	}
+	for r := range z.cdf {
+		z.cdf[r] /= sum
+	}
+	for i := range z.perm {
+		z.perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { z.perm[i], z.perm[j] = z.perm[j], z.perm[i] })
+	return z, nil
+}
+
+// Next draws a node id.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	r := sort.SearchFloat64s(z.cdf, u)
+	if r >= len(z.cdf) {
+		r = len(z.cdf) - 1
+	}
+	return int(z.perm[r])
+}
+
+// NextRank draws a popularity rank (0 = hottest) without the id
+// permutation; the distribution tests use it directly.
+func (z *Zipf) NextRank() int {
+	u := z.rng.Float64()
+	r := sort.SearchFloat64s(z.cdf, u)
+	if r >= len(z.cdf) {
+		r = len(z.cdf) - 1
+	}
+	return r
+}
+
+// RankProb returns the probability of rank r (0-based), for distribution
+// checks.
+func (z *Zipf) RankProb(r int) float64 {
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
+// Fork returns an independent sampler over the same distribution with its
+// own RNG stream, sharing the (read-only) CDF and permutation tables.
+func (z *Zipf) Fork(seed int64) *Zipf {
+	return &Zipf{rng: rand.New(rand.NewSource(seed)), cdf: z.cdf, perm: z.perm, s: z.s}
+}

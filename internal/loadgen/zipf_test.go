@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// Chi-squared goodness-of-fit of the sampler against its own rank pmf. With
+// df = n-1 = 49 the p=0.001 critical value is ≈ 85.4; the seed is fixed, so
+// the statistic is deterministic and the margin only guards against a
+// genuinely broken sampler.
+func TestZipfChiSquared(t *testing.T) {
+	for _, s := range []float64{0, 0.8, 1.0, 1.4} {
+		const n, draws = 50, 200000
+		z, err := NewZipf(n, s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := make([]int, n)
+		for i := 0; i < draws; i++ {
+			obs[z.NextRank()]++
+		}
+		chi2 := 0.0
+		for r := 0; r < n; r++ {
+			exp := float64(draws) * z.RankProb(r)
+			d := float64(obs[r]) - exp
+			chi2 += d * d / exp
+		}
+		if chi2 > 85.4 {
+			t.Errorf("s=%v: chi-squared %.1f exceeds the df=49 p=0.001 critical value 85.4", s, chi2)
+		}
+		// The head must dominate for skewed s, and s=0 must be ~uniform.
+		if s > 0 && obs[0] <= obs[n-1] {
+			t.Errorf("s=%v: rank 0 drawn %d times, rank %d drawn %d — no skew", s, obs[0], n-1, obs[n-1])
+		}
+		if s == 0 {
+			want := float64(draws) / n
+			for r, c := range obs {
+				if math.Abs(float64(c)-want) > want/2 {
+					t.Errorf("s=0: rank %d count %d far from uniform %g", r, c, want)
+				}
+			}
+		}
+	}
+}
+
+// The rank pmf must be a normalized, monotonically decreasing Zipf law.
+func TestZipfRankProb(t *testing.T) {
+	z, err := NewZipf(100, 1.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for r := 0; r < 100; r++ {
+		p := z.RankProb(r)
+		if p <= 0 {
+			t.Fatalf("rank %d: probability %g", r, p)
+		}
+		if r > 0 && p > z.RankProb(r-1) {
+			t.Errorf("rank %d more likely than rank %d", r, r-1)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %g", sum)
+	}
+	// pmf ratio matches the law: p(0)/p(1) = 2^s.
+	if got, want := z.RankProb(0)/z.RankProb(1), math.Pow(2, 1.1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("p(0)/p(1) = %g, want %g", got, want)
+	}
+}
+
+// Equal seeds must reproduce the exact id sequence; Fork streams must cover
+// the same distribution but diverge from the parent.
+func TestZipfDeterminism(t *testing.T) {
+	a, _ := NewZipf(1000, 1.0, 42)
+	b, _ := NewZipf(1000, 1.0, 42)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			same = false
+			break
+		}
+	}
+	if !same {
+		t.Error("equal seeds diverged")
+	}
+
+	c, _ := NewZipf(1000, 1.0, 42)
+	f := c.Fork(43)
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		if c.Next() != f.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("forked stream identical to parent")
+	}
+	for i := 0; i < 1000; i++ {
+		if id := f.Next(); id < 0 || id >= 1000 {
+			t.Fatalf("fork drew out-of-range id %d", id)
+		}
+	}
+}
+
+func TestZipfRejectsBadConfig(t *testing.T) {
+	if _, err := NewZipf(0, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1, 1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := NewZipf(10, math.Inf(1), 1); err == nil {
+		t.Error("infinite exponent accepted")
+	}
+}

@@ -66,6 +66,13 @@ func (c *topkCache) Put(seed, k int, top []sparse.Entry) {
 	}
 }
 
+// counts returns the raw counters for the /metrics exposition.
+func (c *topkCache) counts() (hits, misses int64, entries, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.cap
+}
+
 // snapshot reports cache occupancy and hit-rate counters for /stats.
 func (c *topkCache) snapshot() map[string]interface{} {
 	c.mu.Lock()

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpa"
+	"tpa/internal/core"
+	"tpa/internal/sparse"
+)
+
+// fakeDeadlineEngine implements both Engine and DeadlineEngine. Its deadline
+// methods report partial answers on demand and record how they were invoked,
+// so the HTTP plumbing (header parsing, routing, caching policy, counters)
+// can be tested without real timing.
+type fakeDeadlineEngine struct {
+	slowEngine
+	partial       bool         // deadline methods report Partial when set
+	deadlineCalls atomic.Int64 // times any *Deadline method ran
+	lastBudget    atomic.Int64 // ctx time-to-deadline in ns at last call
+}
+
+func newFakeDeadlineEngine(partial bool) *fakeDeadlineEngine {
+	f := &fakeDeadlineEngine{partial: partial}
+	// Unblock slowEngine's plain TopK for tests that hit the non-deadline path.
+	f.entered = make(chan struct{}, 64)
+	f.release = make(chan struct{})
+	close(f.release)
+	return f
+}
+
+func (f *fakeDeadlineEngine) meta() core.QueryMeta {
+	if f.partial {
+		return core.QueryMeta{Partial: true, EffectiveS: 2, Steps: 1, Bound: 0.5}
+	}
+	return core.QueryMeta{EffectiveS: 5, Steps: 4, Bound: 0.01}
+}
+
+func (f *fakeDeadlineEngine) record(ctx context.Context) {
+	f.deadlineCalls.Add(1)
+	if dl, ok := ctx.Deadline(); ok {
+		f.lastBudget.Store(int64(time.Until(dl)))
+	}
+}
+
+func (f *fakeDeadlineEngine) QueryDeadline(ctx context.Context, seed int) ([]float64, core.QueryMeta, error) {
+	f.record(ctx)
+	return []float64{0.25, 0.75}, f.meta(), nil
+}
+
+func (f *fakeDeadlineEngine) QuerySetDeadline(ctx context.Context, seeds []int) ([]float64, core.QueryMeta, error) {
+	f.record(ctx)
+	return []float64{0.25, 0.75}, f.meta(), nil
+}
+
+func (f *fakeDeadlineEngine) TopKDeadline(ctx context.Context, seed, k int) ([]sparse.Entry, core.QueryMeta, error) {
+	f.record(ctx)
+	return []sparse.Entry{{Index: seed, Score: 1}}, f.meta(), nil
+}
+
+func (f *fakeDeadlineEngine) TopKBatchDeadline(ctx context.Context, seeds []int, k, p int) ([][]sparse.Entry, []core.QueryMeta, error) {
+	f.record(ctx)
+	tops := make([][]sparse.Entry, len(seeds))
+	metas := make([]core.QueryMeta, len(seeds))
+	for i, s := range seeds {
+		tops[i] = []sparse.Entry{{Index: s, Score: 1}}
+		metas[i] = f.meta()
+	}
+	return tops, metas, nil
+}
+
+func deadlineGet(t *testing.T, h http.Handler, path, headerMS string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if headerMS != "" {
+		req.Header.Set(DeadlineHeader, headerMS)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := decodeBody(t, rec, path)
+	return rec, body
+}
+
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder, path string) map[string]interface{} {
+	t.Helper()
+	var body map[string]interface{}
+	if rec.Body.Len() > 0 && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: bad JSON: %v (%s)", path, err, rec.Body.String())
+		}
+	}
+	return body
+}
+
+func TestDeadlineHeaderInvalid(t *testing.T) {
+	h := NewWith(newFakeDeadlineEngine(false), Info{Name: "test"}, Options{})
+	for _, bad := range []string{"abc", "-5", "1.5", ""} {
+		if bad == "" {
+			continue
+		}
+		rec, _ := deadlineGet(t, h, "/topk?seed=1&k=1", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("header %q: code %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestDeadlineHeaderRoutesAndAnnotates(t *testing.T) {
+	eng := newFakeDeadlineEngine(true)
+	h := NewWith(eng, Info{Name: "test"}, Options{CacheSize: 16})
+
+	rec, body := deadlineGet(t, h, "/topk?seed=1&k=1", "50")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	if eng.deadlineCalls.Load() != 1 {
+		t.Fatalf("deadline path not taken (%d calls)", eng.deadlineCalls.Load())
+	}
+	if b := time.Duration(eng.lastBudget.Load()); b <= 0 || b > 50*time.Millisecond {
+		t.Errorf("ctx budget %v, want (0, 50ms]", b)
+	}
+	if body["partial"] != true {
+		t.Errorf("partial = %v, want true", body["partial"])
+	}
+	if body["effective_s"].(float64) != 2 {
+		t.Errorf("effective_s = %v, want 2", body["effective_s"])
+	}
+	if body["residual_bound"].(float64) != 0.5 {
+		t.Errorf("residual_bound = %v, want 0.5", body["residual_bound"])
+	}
+
+	// The partial answer must not have been cached: a second identical
+	// request goes back to the engine rather than being served a stale
+	// truncation.
+	deadlineGet(t, h, "/topk?seed=1&k=1", "50")
+	if eng.deadlineCalls.Load() != 2 {
+		t.Errorf("partial answer was cached (calls=%d)", eng.deadlineCalls.Load())
+	}
+
+	// Both responses carried partial answers; the counter must agree.
+	_, stats := get(t, h, "/stats")
+	ep := stats["endpoints"].(map[string]interface{})["topk"].(map[string]interface{})
+	if ep["partial"].(float64) != 2 {
+		t.Errorf("partial counter = %v, want 2", ep["partial"])
+	}
+}
+
+func TestDeadlineCompleteAnswerIsCached(t *testing.T) {
+	eng := newFakeDeadlineEngine(false)
+	h := NewWith(eng, Info{Name: "test"}, Options{CacheSize: 16})
+
+	rec, body := deadlineGet(t, h, "/topk?seed=3&k=2", "50")
+	if rec.Code != http.StatusOK || body["partial"] != false {
+		t.Fatalf("code %d partial %v", rec.Code, body["partial"])
+	}
+	// Cache hit: engine not consulted again, response still annotated as a
+	// complete answer at the engine's own S (slowEngine.Params = 5, 10).
+	rec, body = deadlineGet(t, h, "/topk?seed=3&k=2", "50")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if eng.deadlineCalls.Load() != 1 {
+		t.Errorf("cache not consulted before deadline path (calls=%d)", eng.deadlineCalls.Load())
+	}
+	if body["partial"] != false || body["effective_s"].(float64) != 5 {
+		t.Errorf("cache-hit meta = partial %v effective_s %v, want false/5", body["partial"], body["effective_s"])
+	}
+}
+
+func TestDeadlineDefaultAndOptOut(t *testing.T) {
+	eng := newFakeDeadlineEngine(false)
+	h := NewWith(eng, Info{Name: "test"}, Options{DefaultDeadline: 100 * time.Millisecond})
+
+	// No header: the server default applies.
+	deadlineGet(t, h, "/topk?seed=1&k=1", "")
+	if eng.deadlineCalls.Load() != 1 {
+		t.Fatalf("default deadline not applied (calls=%d)", eng.deadlineCalls.Load())
+	}
+	// Explicit 0 opts this request out of the default.
+	rec, body := deadlineGet(t, h, "/topk?seed=2&k=1", "0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if eng.deadlineCalls.Load() != 1 {
+		t.Errorf("header 0 still took deadline path (calls=%d)", eng.deadlineCalls.Load())
+	}
+	if _, present := body["partial"]; present {
+		t.Errorf("opt-out response carries deadline fields: %v", body)
+	}
+}
+
+func TestDeadlineHeaderIgnoredByPlainEngine(t *testing.T) {
+	// An engine without DeadlineEngine must keep serving full answers; the
+	// header degrades to a no-op rather than a 500.
+	eng := &slowEngine{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	close(eng.release)
+	h := NewWith(eng, Info{Name: "test"}, Options{})
+	rec, body := deadlineGet(t, h, "/topk?seed=1&k=1", "5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if _, present := body["partial"]; present {
+		t.Errorf("plain engine response carries deadline fields: %v", body)
+	}
+}
+
+func TestDeadlineAllEndpoints(t *testing.T) {
+	eng := newFakeDeadlineEngine(true)
+	h := NewWith(eng, Info{Name: "test"}, Options{})
+
+	if _, body := deadlineGet(t, h, "/score?seed=0&node=1", "50"); body["partial"] != true {
+		t.Errorf("/score partial = %v", body["partial"])
+	}
+	rec, body := postJSONDeadline(t, h, "/queryset", `{"seeds":[0,1],"k":2}`, "50")
+	if rec.Code != http.StatusOK || body["partial"] != true {
+		t.Errorf("/queryset code %d partial %v", rec.Code, body["partial"])
+	}
+	rec, body = postJSONDeadline(t, h, "/batch", `{"seeds":[0,1],"k":2}`, "50")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/batch code %d", rec.Code)
+	}
+	if body["partial_count"].(float64) != 2 {
+		t.Errorf("/batch partial_count = %v, want 2", body["partial_count"])
+	}
+	results := body["results"].([]interface{})
+	for i, r := range results {
+		res := r.(map[string]interface{})
+		if res["partial"] != true {
+			t.Errorf("/batch result %d not flagged partial: %v", i, res)
+		}
+		if res["residual_bound"].(float64) != 0.5 {
+			t.Errorf("/batch result %d residual_bound = %v", i, res["residual_bound"])
+		}
+	}
+}
+
+func postJSONDeadline(t *testing.T, h http.Handler, path, body, headerMS string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set(DeadlineHeader, headerMS)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, decodeBody(t, rec, path)
+}
+
+// TestTightDeadlineOnLargeGraphReturnsPartial is the end-to-end guarantee:
+// a 1 ms budget against a graph whose propagation steps each cost well over
+// 1 ms yields HTTP 200 with a truncated (partial) answer and a finite
+// Theorem-2 bound — never a 500 or an empty response.
+func TestTightDeadlineOnLargeGraphReturnsPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a ~300k-node graph; skipped in -short")
+	}
+	// S=16 gives the propagation loop many dense steps, so the per-step
+	// context check reliably observes the expired budget mid-flight (with
+	// the default S=5 only the final step is expensive, and a query can
+	// blow the budget inside one uninterruptible step yet finish complete).
+	cfg := tpa.Defaults()
+	cfg.S = 16
+	cfg.T = 20
+	g := tpa.RandomCommunityGraph(300000, 6000000, 16, 7)
+	eng, err := tpa.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(eng, Info{Nodes: 300000, Edges: 6000000, Name: "big"})
+
+	rec, body := deadlineGet(t, h, "/topk?seed=42&k=10", "1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["partial"] != true {
+		t.Fatalf("expected a partial answer under a 1ms budget, got %v", body["partial"])
+	}
+	fullS, _ := eng.Params()
+	effS := int(body["effective_s"].(float64))
+	if effS < 1 || effS >= fullS {
+		t.Errorf("effective_s = %d, want in [1, %d)", effS, fullS)
+	}
+	wantBound := core.TheoremTwoBound(cfg.C, effS)
+	if got := body["residual_bound"].(float64); got != wantBound {
+		t.Errorf("residual_bound = %v, want %v", got, wantBound)
+	}
+	if len(body["results"].([]interface{})) == 0 {
+		t.Error("partial answer carried no results")
+	}
+}

@@ -6,13 +6,26 @@ import (
 	"time"
 )
 
-// endpointStats accumulates per-endpoint request counters for /stats. All
-// fields are updated atomically, so the hot path takes no lock.
+// latencyBuckets are the request-duration histogram bounds, in seconds,
+// exposed on GET /metrics. They span cache hits (sub-millisecond) through
+// deadline-bounded worst cases; changing them is a dashboard-breaking
+// change, so the /metrics golden test pins the set.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// endpointStats accumulates per-endpoint request counters for /stats and
+// /metrics. All fields are updated atomically, so the hot path takes no
+// lock.
 type endpointStats struct {
 	requests atomic.Int64 // completed + rejected requests
 	errors   atomic.Int64 // responses with status >= 400 (incl. rejections)
 	rejected atomic.Int64 // turned away by the concurrency limiter (503)
+	partial  atomic.Int64 // 200s carrying a deadline-partial answer
 	totalNS  atomic.Int64 // cumulative handler latency of completed requests
+	// buckets[i] counts completed requests with latency ≤ latencyBuckets[i];
+	// the implicit +Inf bucket is the completed-request count.
+	buckets [13]atomic.Int64
 }
 
 // observe records one completed request.
@@ -22,6 +35,12 @@ func (s *endpointStats) observe(d time.Duration, code int) {
 	if code >= 400 {
 		s.errors.Add(1)
 	}
+	sec := d.Seconds()
+	for i, le := range latencyBuckets {
+		if sec <= le {
+			s.buckets[i].Add(1)
+		}
+	}
 }
 
 // reject records a request turned away by the concurrency limiter.
@@ -30,6 +49,10 @@ func (s *endpointStats) reject() {
 	s.rejected.Add(1)
 	s.errors.Add(1)
 }
+
+// completed returns the number of requests that ran to a response (the
+// histogram's +Inf bucket).
+func (s *endpointStats) completed() int64 { return s.requests.Load() - s.rejected.Load() }
 
 // snapshot renders the counters for the /stats response.
 func (s *endpointStats) snapshot() map[string]interface{} {
@@ -43,6 +66,7 @@ func (s *endpointStats) snapshot() map[string]interface{} {
 		"requests":       n,
 		"errors":         s.errors.Load(),
 		"rejected":       rejected,
+		"partial":        s.partial.Load(),
 		"avg_latency_us": avgUS,
 	}
 }
@@ -51,7 +75,8 @@ func (s *endpointStats) snapshot() map[string]interface{} {
 // count errors.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	partial bool // response carried a deadline-partial answer
 }
 
 func (w *statusWriter) WriteHeader(code int) {

@@ -21,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpa/internal/core"
 	"tpa/internal/sparse"
 )
 
@@ -44,6 +46,24 @@ type Engine interface {
 	IndexBytes() int64
 	ErrorBound() float64
 }
+
+// DeadlineEngine is the optional capability interface for SLO-driven
+// serving: engines implementing it accept a per-query context and, when it
+// expires mid-computation, return the head computed so far as a valid
+// reduced-S approximation with its own Theorem-2 bound (see
+// core.QueryMeta). *tpa.Engine implements it; engines that don't simply
+// ignore deadlines and always answer in full.
+type DeadlineEngine interface {
+	QueryDeadline(ctx context.Context, seed int) ([]float64, core.QueryMeta, error)
+	QuerySetDeadline(ctx context.Context, seeds []int) ([]float64, core.QueryMeta, error)
+	TopKDeadline(ctx context.Context, seed, k int) ([]sparse.Entry, core.QueryMeta, error)
+	TopKBatchDeadline(ctx context.Context, seeds []int, k, parallelism int) ([][]sparse.Entry, []core.QueryMeta, error)
+}
+
+// DeadlineHeader is the request header carrying a per-query budget in
+// milliseconds. It overrides Options.DefaultDeadline; an explicit 0
+// disables the deadline for that request.
+const DeadlineHeader = "X-TPA-Deadline-Ms"
 
 // Info describes a served graph for the /stats and /graphs endpoints.
 type Info struct {
@@ -70,6 +90,11 @@ type Options struct {
 	// MaxBatch rejects /batch and /queryset requests carrying more seeds
 	// with 413. 0 means unlimited.
 	MaxBatch int
+	// DefaultDeadline is the per-query budget applied when a request does
+	// not carry the DeadlineHeader. 0 means no default; queries run to
+	// completion. Requires the graph's engine to implement DeadlineEngine
+	// to have any effect.
+	DefaultDeadline time.Duration
 }
 
 // DefaultOptions returns the serving defaults: a 4096-entry cache per
@@ -154,6 +179,7 @@ func NewRegistry(opts Options) *Handler {
 	h.mux.HandleFunc("POST /graphs/{name}/reload", h.reloadGraph)
 	h.mux.HandleFunc("POST /graphs/{name}/edges", h.mutateGraph)
 	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -190,7 +216,58 @@ func (h *Handler) handle(pattern, name string, fn http.HandlerFunc) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		fn(sw, r)
 		st.observe(time.Since(start), sw.code)
+		if sw.partial {
+			st.partial.Add(1)
+		}
 	})
+}
+
+// markPartial flags the in-flight response as carrying a deadline-partial
+// answer, so the endpoint's partial counter ticks when it completes.
+func markPartial(w http.ResponseWriter) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.partial = true
+	}
+}
+
+// requestDeadline resolves the per-query budget for r: the DeadlineHeader
+// when present (an explicit 0 disables the deadline for this request),
+// Options.DefaultDeadline otherwise.
+func (h *Handler) requestDeadline(r *http.Request) (time.Duration, error) {
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			return 0, fmt.Errorf("invalid %s header %q: want a non-negative integer", DeadlineHeader, v)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	return h.opts.DefaultDeadline, nil
+}
+
+// deadlineFor couples requestDeadline with the engine capability check: it
+// returns the deadline-aware engine and a live budget context when both
+// sides support it, or ok=false for the plain query path.
+func deadlineFor(st *engineState, budget time.Duration) (DeadlineEngine, bool) {
+	if budget <= 0 {
+		return nil, false
+	}
+	de, ok := st.eng.(DeadlineEngine)
+	return de, ok
+}
+
+// fullMeta is the QueryMeta of an answer that did not go through the
+// deadline path (e.g. a cache hit): complete at the engine's own S.
+func fullMeta(eng Engine) core.QueryMeta {
+	s, _ := eng.Params()
+	return core.QueryMeta{EffectiveS: s, Steps: s - 1, Bound: eng.ErrorBound()}
+}
+
+// metaJSON appends the deadline fields to a response map.
+func metaJSON(resp map[string]interface{}, meta core.QueryMeta) map[string]interface{} {
+	resp["partial"] = meta.Partial
+	resp["effective_s"] = meta.EffectiveS
+	resp["residual_bound"] = meta.Bound
+	return resp
 }
 
 // entryJSON is the wire form of a scored node.
@@ -223,12 +300,44 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.queries.Add(1)
-	top, err := st.cachedTopK(seed, k)
+	budget, err := h.requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	de, ok := deadlineFor(st, budget)
+	if !ok {
+		top, err := st.cachedTopK(seed, k)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, map[string]interface{}{"seed": seed, "results": toJSON(top)})
+		return
+	}
+	// Deadline path. A cache hit is a complete answer that beats any
+	// partial one, so the cache is still consulted first.
+	if st.cache != nil {
+		if top, hit := st.cache.Get(seed, k); hit {
+			writeJSON(w, metaJSON(map[string]interface{}{"seed": seed, "results": toJSON(top)}, fullMeta(st.eng)))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	top, meta, err := de.TopKDeadline(ctx, seed, k)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	writeJSON(w, map[string]interface{}{"seed": seed, "results": toJSON(top)})
+	if meta.Partial {
+		markPartial(w)
+	} else if st.cache != nil {
+		// Partial answers never enter the cache: the next request may have
+		// a healthier budget and deserves the full answer.
+		st.cache.Put(seed, k, top)
+	}
+	writeJSON(w, metaJSON(map[string]interface{}{"seed": seed, "results": toJSON(top)}, meta))
 }
 
 func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
@@ -247,7 +356,32 @@ func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.queries.Add(1)
-	scores, err := st.eng.Query(seed)
+	budget, err := h.requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var scores []float64
+	if de, ok := deadlineFor(st, budget); ok {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		var meta core.QueryMeta
+		scores, meta, err = de.QueryDeadline(ctx, seed)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		if node >= len(scores) {
+			httpError(w, http.StatusUnprocessableEntity, "node out of range")
+			return
+		}
+		if meta.Partial {
+			markPartial(w)
+		}
+		writeJSON(w, metaJSON(map[string]interface{}{"seed": seed, "node": node, "score": scores[node]}, meta))
+		return
+	}
+	scores, err = st.eng.Query(seed)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -265,10 +399,14 @@ type batchRequest struct {
 	K     int   `json:"k"`
 }
 
-// seedResult is one per-seed answer in the POST /batch response.
+// seedResult is one per-seed answer in the POST /batch response. The
+// deadline fields appear only on seeds whose budget expired mid-query.
 type seedResult struct {
-	Seed    int         `json:"seed"`
-	Results []entryJSON `json:"results"`
+	Seed          int         `json:"seed"`
+	Results       []entryJSON `json:"results"`
+	Partial       bool        `json:"partial,omitempty"`
+	EffectiveS    int         `json:"effective_s,omitempty"`
+	ResidualBound float64     `json:"residual_bound,omitempty"`
 }
 
 // batch answers one top-k query per seed, checking the graph's cache
@@ -297,6 +435,11 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	e.queries.Add(1)
+	budget, err := h.requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	out := make([]seedResult, len(req.Seeds))
 	var missSeeds, missPos []int
 	for i, s := range req.Seeds {
@@ -309,20 +452,44 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		missSeeds = append(missSeeds, s)
 		missPos = append(missPos, i)
 	}
+	partialCount := 0
 	if len(missSeeds) > 0 {
-		tops, err := st.eng.TopKBatch(missSeeds, req.K, h.opts.Workers)
+		var tops [][]sparse.Entry
+		var metas []core.QueryMeta
+		if de, ok := deadlineFor(st, budget); ok {
+			// The whole batch shares one budget; each seed degrades
+			// independently as it runs out (see TPA.TopKBatchDeadline).
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			tops, metas, err = de.TopKBatchDeadline(ctx, missSeeds, req.K, h.opts.Workers)
+		} else {
+			tops, err = st.eng.TopKBatch(missSeeds, req.K, h.opts.Workers)
+		}
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
 		for j, top := range tops {
-			if st.cache != nil {
+			res := seedResult{Seed: missSeeds[j], Results: toJSON(top)}
+			if metas != nil && metas[j].Partial {
+				res.Partial = true
+				res.EffectiveS = metas[j].EffectiveS
+				res.ResidualBound = metas[j].Bound
+				partialCount++
+			} else if st.cache != nil {
 				st.cache.Put(missSeeds[j], req.K, top)
 			}
-			out[missPos[j]] = seedResult{Seed: missSeeds[j], Results: toJSON(top)}
+			out[missPos[j]] = res
 		}
 	}
-	writeJSON(w, map[string]interface{}{"k": req.K, "results": out})
+	if partialCount > 0 {
+		markPartial(w)
+	}
+	resp := map[string]interface{}{"k": req.K, "results": out}
+	if budget > 0 {
+		resp["partial_count"] = partialCount
+	}
+	writeJSON(w, resp)
 }
 
 // querySetRequest is the POST /queryset body.
@@ -354,6 +521,26 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	e.queries.Add(1)
+	budget, err := h.requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if de, ok := deadlineFor(st, budget); ok {
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		scores, meta, err := de.QuerySetDeadline(ctx, req.Seeds)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		if meta.Partial {
+			markPartial(w)
+		}
+		top := sparse.Vector(scores).TopK(req.K)
+		writeJSON(w, metaJSON(map[string]interface{}{"seeds": req.Seeds, "results": toJSON(top)}, meta))
+		return
+	}
 	scores, err := st.eng.QuerySet(req.Seeds)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())

@@ -24,6 +24,7 @@
 package tpa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -256,6 +257,52 @@ func (e *Engine) batchWorkers(parallelism int) int {
 
 // TopK returns the k nodes most relevant to the seed, highest score first.
 func (e *Engine) TopK(seed, k int) ([]Entry, error) { return e.tpa.TopK(seed, k) }
+
+// QueryMeta describes how a deadline-aware query completed: whether the
+// context expired mid-computation (Partial), the split point actually
+// realized (EffectiveS ≤ S), and the Theorem-2 bound 2(1-c)^EffectiveS the
+// returned answer is guaranteed to meet. See QueryDeadline.
+type QueryMeta = core.QueryMeta
+
+// QueryDeadline is Query honoring ctx. TPA's online phase accumulates the
+// answer one propagation step at a time, so a query cut short after S' < S
+// steps is not a failure — it is a valid TPA approximation with split point
+// S', within 2(1-c)^S' of exact RWR (Theorem 2). When ctx expires
+// mid-computation the head computed so far is rescaled by the Lemma-2
+// masses for S' and returned flagged Partial; an unexpired ctx reproduces
+// Query exactly. This is the engine half of SLO-driven serving: a deadline
+// degrades accuracy, never availability.
+func (e *Engine) QueryDeadline(ctx context.Context, seed int) ([]float64, QueryMeta, error) {
+	r, meta, err := e.tpa.QueryDeadline(ctx, seed)
+	if err != nil {
+		return nil, meta, err
+	}
+	return r, meta, nil
+}
+
+// TopKDeadline is TopK honoring ctx, with the partial-answer contract of
+// QueryDeadline.
+func (e *Engine) TopKDeadline(ctx context.Context, seed, k int) ([]Entry, QueryMeta, error) {
+	return e.tpa.TopKDeadline(ctx, seed, k)
+}
+
+// QuerySetDeadline is QuerySet honoring ctx, with the partial-answer
+// contract of QueryDeadline.
+func (e *Engine) QuerySetDeadline(ctx context.Context, seeds []int) ([]float64, QueryMeta, error) {
+	r, meta, err := e.tpa.QuerySetDeadline(ctx, seeds)
+	if err != nil {
+		return nil, meta, err
+	}
+	return r, meta, nil
+}
+
+// TopKBatchDeadline is TopKBatch honoring ctx: all seeds share the budget,
+// and each seed degrades independently when it expires — early seeds
+// complete at full S, late seeds come back Partial. Metas[i] describes
+// seeds[i].
+func (e *Engine) TopKBatchDeadline(ctx context.Context, seeds []int, k, parallelism int) ([][]Entry, []QueryMeta, error) {
+	return e.tpa.TopKBatchDeadline(ctx, seeds, k, e.batchWorkers(parallelism))
+}
 
 // Params returns the S and T split points in effect.
 func (e *Engine) Params() (s, t int) {
