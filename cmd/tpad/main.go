@@ -5,6 +5,7 @@
 //	tpad serve -graph edges.tsv [-index prebuilt.idx] [...]
 //	tpad mutate -graph name [-add u,v]... [-remove u,v]... [-file f | -watch f]
 //	tpad loadgen -url http://host:8080 [-qps 100 -duration 30s -zipf-s 1.0]
+//	tpad arena [-gen sbm:10000] [-methods tpa,exact,fora,...] [-json out.json]
 //	tpad -graph edges.tsv [...]                  (legacy alias for "serve")
 //
 // build runs preprocessing once and writes a combined graph+index snapshot
@@ -51,6 +52,8 @@ func main() {
 		err = cmdMutate(args[1:])
 	case len(args) > 0 && args[0] == "loadgen":
 		err = cmdLoadgen(args[1:])
+	case len(args) > 0 && args[0] == "arena":
+		err = cmdArena(args[1:])
 	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
 		usage()
 		return
@@ -74,6 +77,9 @@ func usage() {
   tpad loadgen -url <URL>       [-qps 100] [-ramp 0s] [-duration 30s] [-zipf-s 1.0]
                                 [-seeds 0] [-k 10] [-deadline-ms 0] [-json out.json]
                                 [-max-error-rate R] [-max-p99-ms MS]
+  tpad arena [-gen sbm:10000,rmat:5000] [-graphs edges.tsv,...] [-methods tpa,exact,...]
+             [-workloads uniform,hub,tail] [-queries 10] [-k 20] [-c 0.15] [-eps 1e-9]
+             [-seed 1] [-json out.json] [-quiet]
 
 serving flags: -workers N -cache N -max-inflight N -max-batch N -default-deadline D -c -eps -s -t
 "tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".

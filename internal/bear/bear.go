@@ -234,7 +234,7 @@ func elimQuery(e *elimination, seed int,
 	solveS func(sparse.Vector) (sparse.Vector, error)) (sparse.Vector, error) {
 	n := len(e.perm)
 	if seed < 0 || seed >= n {
-		return nil, fmt.Errorf("bear: seed %d outside [0,%d)", seed, n)
+		return nil, rwr.CheckSeed("bear", seed, n)
 	}
 	c := e.cfg.C
 	q1 := sparse.NewVector(e.n1)

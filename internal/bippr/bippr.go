@@ -18,6 +18,7 @@ import (
 	"tpa/internal/graph"
 	"tpa/internal/mc"
 	"tpa/internal/push"
+	"tpa/internal/rwr"
 )
 
 // Options configure BiPPR's accuracy/work trade-off.
@@ -83,7 +84,7 @@ func (b *BiPPR) Walks() int { return b.walks }
 func (b *BiPPR) Pair(s, t int) (float64, error) {
 	n := b.walk.N()
 	if s < 0 || s >= n || t < 0 || t >= n {
-		return 0, fmt.Errorf("bippr: pair (%d,%d) outside [0,%d)", s, t, n)
+		return 0, fmt.Errorf("bippr: pair (%d,%d) outside [0,%d): %w", s, t, n, rwr.ErrSeedOutOfRange)
 	}
 	br, err := push.Backward(b.walk, t, b.opts.C, b.rmaxB)
 	if err != nil {

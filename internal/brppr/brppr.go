@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"tpa/internal/graph"
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -58,26 +59,88 @@ type Result struct {
 	Rounds int
 }
 
-// Query computes the boundary-restricted RWR vector for the seed. Scores of
-// nodes never activated are zero; the frontier mass below κ bounds the
-// missing rank.
-func Query(w *graph.Walk, seed int, opts Options) (*Result, error) {
+// BRPPR is a prepared handle over one graph, mirroring the
+// Preprocess-then-Query shape of every other engine in this repository.
+// BRPPR has no preprocessing phase in the algorithmic sense — no index is
+// built — but the handle owns the O(n) scratch state (active flags, rank,
+// buffer and frontier vectors) that the free-function form used to allocate
+// and zero on every call, so repeated queries only pay for the neighborhood
+// they actually touch. A handle is NOT safe for concurrent queries; give
+// each goroutine its own.
+type BRPPR struct {
+	walk *graph.Walk
+	opts Options
+
+	// Scratch, reused across queries. Entries touched by the previous
+	// query are recorded in activeList/frontierNodes and zeroed on entry.
+	active        []bool
+	activeList    []int32
+	r             sparse.Vector
+	buf           sparse.Vector
+	frontier      sparse.Vector
+	frontierNodes []int32
+}
+
+// New validates the options and builds a query handle with its scratch
+// allocated once.
+func New(w *graph.Walk, opts Options) (*BRPPR, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := w.N()
-	if seed < 0 || seed >= n {
-		return nil, fmt.Errorf("brppr: seed %d outside [0,%d)", seed, n)
+	return &BRPPR{
+		walk:     w,
+		opts:     opts,
+		active:   make([]bool, n),
+		r:        sparse.NewVector(n),
+		buf:      sparse.NewVector(n),
+		frontier: sparse.NewVector(n),
+	}, nil
+}
+
+// Query computes the boundary-restricted RWR vector for the seed. Scores of
+// nodes never activated are zero; the frontier mass below κ bounds the
+// missing rank.
+func Query(w *graph.Walk, seed int, opts Options) (*Result, error) {
+	b, err := New(w, opts)
+	if err != nil {
+		return nil, err
 	}
-	g := w.Graph()
-	active := make([]bool, n)
+	return b.Query(seed)
+}
+
+// reset zeroes exactly the scratch entries the previous query touched.
+func (b *BRPPR) reset() {
+	for _, u := range b.activeList {
+		b.active[u] = false
+		b.r[u] = 0
+		b.buf[u] = 0
+	}
+	for _, v := range b.frontierNodes {
+		b.frontier[v] = 0
+	}
+	b.activeList = b.activeList[:0]
+	b.frontierNodes = b.frontierNodes[:0]
+}
+
+// Query computes the boundary-restricted RWR vector for the seed using the
+// handle's scratch.
+func (b *BRPPR) Query(seed int) (*Result, error) {
+	n := b.walk.N()
+	if err := rwr.CheckSeed("brppr", seed, n); err != nil {
+		return nil, err
+	}
+	b.reset()
+	opts := b.opts
+	g := b.walk.Graph()
+	active := b.active
 	active[seed] = true
-	activeList := []int32{int32(seed)}
-	r := sparse.NewVector(n)
+	activeList := append(b.activeList, int32(seed))
+	r := b.r
 	r[seed] = 1
-	buf := sparse.NewVector(n)
-	frontier := sparse.NewVector(n) // rank parked on non-active nodes
-	var frontierNodes []int32
+	buf := b.buf
+	frontier := b.frontier // rank parked on non-active nodes
+	frontierNodes := b.frontierNodes
 	var rounds int
 	for rounds = 1; rounds <= opts.MaxRounds; rounds++ {
 		// Power iteration restricted to the active set: mass leaving the
@@ -155,12 +218,18 @@ func Query(w *graph.Walk, seed int, opts Options) (*Result, error) {
 		}
 	}
 	// Final answer: active ranks plus parked frontier mass, giving a
-	// substochastic approximation of the true vector.
-	scores := r.Clone()
+	// substochastic approximation of the true vector. Only the touched
+	// entries are copied out of the scratch; everything else is zero.
+	scores := sparse.NewVector(n)
+	for _, u := range activeList {
+		scores[u] = r[u]
+	}
 	for _, v := range frontierNodes {
 		if !active[v] { // an expanded node already moved its mass into r
 			scores[v] += frontier[v]
 		}
 	}
+	// Remember what this query touched so the next one can reset it.
+	b.activeList, b.frontierNodes = activeList, frontierNodes
 	return &Result{Scores: scores, Active: len(activeList), Rounds: rounds}, nil
 }

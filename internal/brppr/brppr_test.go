@@ -1,6 +1,7 @@
 package brppr
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -191,5 +192,44 @@ func TestRPPRErrors(t *testing.T) {
 	}
 	if _, err := QueryRestricted(w, 0, Options{}); err == nil {
 		t.Error("zero options accepted")
+	}
+}
+
+// TestHandleReuseMatchesFresh proves the prepared handle's scratch reset is
+// complete: a sequence of queries through one handle must produce exactly
+// the vectors fresh single-shot queries produce, including a repeat of an
+// earlier seed after the scratch has been dirtied by others.
+func TestHandleReuseMatchesFresh(t *testing.T) {
+	w := brWalk(t)
+	opts := DefaultOptions()
+	b, err := New(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int{0, 17, 123, 0, 299, 17}
+	for _, seed := range seeds {
+		got, err := b.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Query(w, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Active != want.Active || got.Rounds != want.Rounds {
+			t.Errorf("seed %d: handle (active=%d rounds=%d) vs fresh (active=%d rounds=%d)",
+				seed, got.Active, got.Rounds, want.Active, want.Rounds)
+		}
+		for i := range got.Scores {
+			if got.Scores[i] != want.Scores[i] {
+				t.Fatalf("seed %d: score[%d] = %g via handle, %g fresh", seed, i, got.Scores[i], want.Scores[i])
+			}
+		}
+	}
+	if _, err := b.Query(-1); !errors.Is(err, rwr.ErrSeedOutOfRange) {
+		t.Errorf("Query(-1) = %v, want ErrSeedOutOfRange", err)
+	}
+	if _, err := b.Query(w.N()); !errors.Is(err, rwr.ErrSeedOutOfRange) {
+		t.Errorf("Query(N) = %v, want ErrSeedOutOfRange", err)
 	}
 }

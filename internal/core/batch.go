@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -39,8 +40,8 @@ func (t *TPA) putScratch(sc *queryScratch) { t.scratch.Put(sc) }
 func (t *TPA) checkSeeds(seeds []int) error {
 	n := t.walk.N()
 	for _, s := range seeds {
-		if s < 0 || s >= n {
-			return fmt.Errorf("core: seed %d outside [0,%d)", s, n)
+		if err := rwr.CheckSeed("core", s, n); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -73,8 +74,8 @@ func (t *TPA) queryInto(seeds []int, dst sparse.Vector, sc *queryScratch) {
 // N), avoiding the result allocation too. It returns dst. It is safe for
 // concurrent use with distinct dst vectors.
 func (t *TPA) QueryInto(seed int, dst sparse.Vector) (sparse.Vector, error) {
-	if seed < 0 || seed >= t.walk.N() {
-		return nil, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	if err := rwr.CheckSeed("core", seed, t.walk.N()); err != nil {
+		return nil, err
 	}
 	if len(dst) != t.walk.N() {
 		return nil, fmt.Errorf("core: dst length %d, want %d", len(dst), t.walk.N())

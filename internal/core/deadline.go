@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -88,8 +89,8 @@ func (t *TPA) queryIntoDeadline(ctx context.Context, seeds []int, dst sparse.Vec
 // expired still yields the cheapest useful answer (S' = 1: the scaled seed
 // distribution plus the stranger tail, bound 2(1-c)).
 func (t *TPA) QueryDeadline(ctx context.Context, seed int) (sparse.Vector, QueryMeta, error) {
-	if seed < 0 || seed >= t.walk.N() {
-		return nil, QueryMeta{}, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	if err := rwr.CheckSeed("core", seed, t.walk.N()); err != nil {
+		return nil, QueryMeta{}, err
 	}
 	dst := sparse.NewVector(t.walk.N())
 	sc := t.getScratch()
@@ -101,8 +102,8 @@ func (t *TPA) QueryDeadline(ctx context.Context, seed int) (sparse.Vector, Query
 // TopKDeadline is TopK honoring ctx, with the same partial-answer contract
 // as QueryDeadline. The full score vector never leaves the scratch pool.
 func (t *TPA) TopKDeadline(ctx context.Context, seed, k int) ([]sparse.Entry, QueryMeta, error) {
-	if seed < 0 || seed >= t.walk.N() {
-		return nil, QueryMeta{}, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+	if err := rwr.CheckSeed("core", seed, t.walk.N()); err != nil {
+		return nil, QueryMeta{}, err
 	}
 	sc := t.getScratch()
 	meta := t.queryIntoDeadline(ctx, []int{seed}, sc.out, sc)

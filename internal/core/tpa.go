@@ -142,7 +142,7 @@ func (t *TPA) QuerySet(seeds []int) (sparse.Vector, error) {
 // error-analysis experiments (Table III, Fig 9) need them individually.
 func (t *TPA) QueryParts(seed int) (*Parts, error) {
 	if seed < 0 || seed >= t.walk.N() {
-		return nil, fmt.Errorf("core: seed %d outside [0,%d)", seed, t.walk.N())
+		return nil, rwr.CheckSeed("core", seed, t.walk.N())
 	}
 	return t.queryParts([]int{seed})
 }

@@ -6,17 +6,17 @@ import (
 	"time"
 
 	"tpa/internal/bear"
-	"tpa/internal/brppr"
 	"tpa/internal/core"
 	"tpa/internal/datasets"
-	"tpa/internal/fora"
 	"tpa/internal/graph"
-	"tpa/internal/hubppr"
-	"tpa/internal/nblin"
+	"tpa/internal/method"
 	"tpa/internal/sparse"
 )
 
-// Method names, in the order Fig 1 lists its bars.
+// Method names, in the order Fig 1 lists its bars. These are the paper's
+// display names; registryName maps them onto internal/method registry keys,
+// which is where the engines actually live since the unified-Method
+// redesign.
 const (
 	MethodTPA    = "TPA"
 	MethodBRPPR  = "BRPPR"
@@ -26,6 +26,17 @@ const (
 	MethodNBLin  = "NB_LIN"
 	MethodBePI   = "BePI"
 )
+
+// registryName maps the paper's display names onto method registry keys.
+var registryName = map[string]string{
+	MethodTPA:    method.TPA,
+	MethodBRPPR:  method.BRPPR,
+	MethodFORA:   method.FORA,
+	MethodBear:   method.Bear,
+	MethodHubPPR: method.HubPPR,
+	MethodNBLin:  method.NBLin,
+	MethodBePI:   method.BePI,
+}
 
 // PreprocessingMethods are the methods with a preprocessing phase,
 // compared in Figs 1(a) and 1(b).
@@ -46,75 +57,47 @@ type Prepared struct {
 }
 
 // PrepareMethod builds one named method on the given walk, timing its
-// preprocessing phase and accounting its index.
+// preprocessing phase and accounting its index. It is a thin shim over the
+// method registry: the only knowledge left here is the paper's protocol —
+// per-dataset TPA split points and BEAR's drop tolerance taken at the
+// original dataset's size rather than the analogue's.
 func PrepareMethod(name string, w *graph.Walk, d datasets.Dataset, opt Options) (*Prepared, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	p := &Prepared{Name: name}
-	switch name {
-	case MethodTPA:
-		tp, err := core.Preprocess(w, opt.Cfg, core.Params{S: d.S, T: d.T})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing TPA: %w", err)
-		}
-		p.IndexBytes = tp.IndexBytes()
-		p.Query = tp.Query
-	case MethodBear:
+	key, ok := registryName[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown method %q", name)
+	}
+	m, err := method.New(key)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: preparing %s: %w", name, err)
+	}
+	switch a := m.(type) {
+	case *method.TPAMethod:
+		a.Params = core.Params{S: d.S, T: d.T}
+	case *method.BearMethod:
 		bo := bear.DefaultOptions(w.N())
 		// The paper sets the drop tolerance to n^(-1/2) at paper scale
 		// (n ≥ 82144 → tol ≤ 0.0035). Using the analogue's tiny n here
 		// would drop far more aggressively than the paper ever does, so
 		// the tolerance is taken at the original dataset's size.
 		bo.DropTol = 1 / math.Sqrt(float64(d.PaperNodes))
-		b, err := bear.Preprocess(w, opt.Cfg, bo)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing BEAR-APPROX: %w", err)
-		}
-		p.IndexBytes = b.IndexBytes()
-		p.Query = b.Query
-	case MethodBePI:
-		b, err := bear.PreprocessBePI(w, opt.Cfg, bear.DefaultOptions(w.N()))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing BePI: %w", err)
-		}
-		p.IndexBytes = b.IndexBytes()
-		p.Query = b.Query
-	case MethodNBLin:
-		nb, err := nblin.Preprocess(w, opt.Cfg, nblin.DefaultOptions(w.N()))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing NB-LIN: %w", err)
-		}
-		p.IndexBytes = nb.IndexBytes()
-		p.Query = nb.Query
-	case MethodFORA:
-		f, err := fora.Preprocess(w, fora.DefaultOptions(w.N()))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing FORA: %w", err)
-		}
-		p.IndexBytes = f.IndexBytes()
-		p.Query = f.Query
-	case MethodHubPPR:
-		h, err := hubppr.Preprocess(w, hubppr.DefaultOptions(w.N()))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing HubPPR: %w", err)
-		}
-		p.IndexBytes = h.IndexBytes()
-		p.Query = h.Query
-	case MethodBRPPR:
-		// Online-only: no preprocessing phase, no index.
-		p.Query = func(seed int) (sparse.Vector, error) {
-			res, err := brppr.Query(w, seed, brppr.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			return res.Scores, nil
-		}
-	default:
-		return nil, fmt.Errorf("experiments: unknown method %q", name)
+		a.Opts = bo
 	}
-	p.PrepTime = time.Since(start)
+	if err := m.Preprocess(w, opt.Cfg); err != nil {
+		return nil, fmt.Errorf("experiments: preparing %s: %w", name, err)
+	}
+	st := m.Stats()
+	p := &Prepared{
+		Name:       name,
+		PrepTime:   st.PreprocessTime,
+		IndexBytes: st.IndexBytes,
+		Query: func(seed int) (sparse.Vector, error) {
+			r, _, err := m.Query(seed)
+			return r, err
+		},
+	}
 	if p.IndexBytes > opt.BudgetBytes {
 		p.OOM = true
 	}

@@ -18,6 +18,7 @@ import (
 	"tpa/internal/graph"
 	"tpa/internal/mc"
 	"tpa/internal/push"
+	"tpa/internal/rwr"
 )
 
 // Options configure FAST-PPR.
@@ -92,7 +93,7 @@ func (f *FASTPPR) Walks() int { return f.walks }
 func (f *FASTPPR) Pair(s, t int) (float64, error) {
 	n := f.walk.N()
 	if s < 0 || s >= n || t < 0 || t >= n {
-		return 0, fmt.Errorf("fastppr: pair (%d,%d) outside [0,%d)", s, t, n)
+		return 0, fmt.Errorf("fastppr: pair (%d,%d) outside [0,%d): %w", s, t, n, rwr.ErrSeedOutOfRange)
 	}
 	// Backward phase: grow inverse-PPR estimates until every residual is
 	// below ε_r; the "frontier" is every node with a positive estimate —

@@ -20,6 +20,7 @@ import (
 	"tpa/internal/graph"
 	"tpa/internal/mc"
 	"tpa/internal/push"
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -181,7 +182,7 @@ func (h *HubPPR) Walks() int { return h.walks }
 func (h *HubPPR) Pair(s, t int) (float64, error) {
 	n := h.walk.N()
 	if s < 0 || s >= n || t < 0 || t >= n {
-		return 0, fmt.Errorf("hubppr: pair (%d,%d) outside [0,%d)", s, t, n)
+		return 0, fmt.Errorf("hubppr: pair (%d,%d) outside [0,%d): %w", s, t, n, rwr.ErrSeedOutOfRange)
 	}
 	var reserveS float64
 	var residual func(v int32) float64
@@ -215,8 +216,8 @@ func (h *HubPPR) Pair(s, t int) (float64, error) {
 // graph as the target nodes").
 func (h *HubPPR) Query(seed int) (sparse.Vector, error) {
 	n := h.walk.N()
-	if seed < 0 || seed >= n {
-		return nil, fmt.Errorf("hubppr: seed %d outside [0,%d)", seed, n)
+	if err := rwr.CheckSeed("hubppr", seed, n); err != nil {
+		return nil, err
 	}
 	// Amortize the forward walks across all targets: sample endpoints once.
 	endpoints := make([]int32, h.walks)

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"tpa/internal/graph"
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -62,8 +63,8 @@ func (wk *Walker) Pick(n int) int { return wk.rng.Intn(n) }
 // Estimate runs walks terminated walks from seed and returns the empirical
 // terminal distribution, an unbiased estimator of the RWR vector.
 func (wk *Walker) Estimate(seed, walks int) (sparse.Vector, error) {
-	if seed < 0 || seed >= wk.w.N() {
-		return nil, fmt.Errorf("mc: seed %d outside [0,%d)", seed, wk.w.N())
+	if err := rwr.CheckSeed("mc", seed, wk.w.N()); err != nil {
+		return nil, err
 	}
 	if walks <= 0 {
 		return nil, fmt.Errorf("mc: walk count %d must be positive", walks)

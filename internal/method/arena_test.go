@@ -1,0 +1,158 @@
+package method
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func arenaGraphs(t *testing.T) []ArenaGraph {
+	t.Helper()
+	w, _, _ := confSetup(t)
+	return []ArenaGraph{{Name: "sbm-conf", Walk: w}}
+}
+
+func TestRunArenaSmall(t *testing.T) {
+	opts := ArenaOptions{
+		Methods: []string{TPA, Exact, BRPPR},
+		Queries: 3,
+		K:       10,
+	}
+	rep, err := RunArena(arenaGraphs(t), opts, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("%s/%s failed: %s", c.Graph, c.Method, c.Err)
+		}
+		if len(c.Workloads) != 3 {
+			t.Fatalf("%s: %d workloads, want 3", c.Method, len(c.Workloads))
+		}
+		for _, w := range c.Workloads {
+			if w.Queries != 3 {
+				t.Errorf("%s/%s: %d queries, want 3", c.Method, w.Workload, w.Queries)
+			}
+			if w.MeanQuery <= 0 {
+				t.Errorf("%s/%s: MeanQuery %v", c.Method, w.Workload, w.MeanQuery)
+			}
+			if w.MeanRecall < 0 || w.MeanRecall > 1 {
+				t.Errorf("%s/%s: MeanRecall %v outside [0,1]", c.Method, w.Workload, w.MeanRecall)
+			}
+			// Every cell must beat its own declared bound — the same
+			// contract the conformance suite enforces, here end to end
+			// through the arena path.
+			if w.MeanL1 > c.Bound {
+				t.Errorf("%s/%s: mean L1 %v exceeds declared bound %v",
+					c.Method, w.Workload, w.MeanL1, c.Bound)
+			}
+		}
+	}
+	// Exact is its own ground truth: recall 1, L1 ~0.
+	for _, c := range rep.Cells {
+		if c.Method != Exact {
+			continue
+		}
+		for _, w := range c.Workloads {
+			if w.MeanRecall != 1 {
+				t.Errorf("exact/%s: recall %v, want 1", w.Workload, w.MeanRecall)
+			}
+		}
+	}
+}
+
+func TestRunArenaFailedCellContinues(t *testing.T) {
+	opts := ArenaOptions{
+		Methods: []string{"no-such-engine", TPA},
+		Queries: 2,
+	}
+	rep, err := RunArena(arenaGraphs(t), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Err == "" {
+		t.Error("unknown method cell did not record an error")
+	}
+	if rep.Cells[1].Err != "" {
+		t.Errorf("TPA cell failed: %s", rep.Cells[1].Err)
+	}
+}
+
+func TestArenaWorkloads(t *testing.T) {
+	w, _, _ := confSetup(t)
+	g := w.Graph()
+	hub, err := workloadSeeds(g, WorkloadHub, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := workloadSeeds(g, WorkloadTail, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(hub[0]) < g.OutDegree(tail[0]) {
+		t.Errorf("hub seed degree %d below tail seed degree %d",
+			g.OutDegree(hub[0]), g.OutDegree(tail[0]))
+	}
+	if _, err := workloadSeeds(g, "bogus", 5, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Oversized query counts clamp to n.
+	all, err := workloadSeeds(g, WorkloadUniform, confNodes*2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != confNodes {
+		t.Errorf("got %d seeds, want clamp to %d", len(all), confNodes)
+	}
+}
+
+func TestArenaBoundViolations(t *testing.T) {
+	rep := &ArenaReport{Cells: []ArenaCell{
+		{Graph: "g", Method: "a", Bound: 0.1, Workloads: []WorkloadResult{
+			{Workload: WorkloadUniform, MeanL1: 0.05},
+			{Workload: WorkloadHub, MeanL1: 0.2},
+		}},
+		{Graph: "g", Method: "b", Bound: 0.5, Workloads: []WorkloadResult{
+			{Workload: WorkloadUniform, MeanL1: 0.4},
+		}},
+	}}
+	v := rep.BoundViolations()
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "g/a/hub") {
+		t.Errorf("violation names the wrong cell: %s", v[0])
+	}
+}
+
+func TestArenaReportRenders(t *testing.T) {
+	opts := ArenaOptions{Methods: []string{TPA, Exact}, Queries: 2, K: 5,
+		Workloads: []string{WorkloadUniform}}
+	rep, err := RunArena(arenaGraphs(t), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := rep.Table()
+	for _, want := range []string{"sbm-conf", "method", "uniform:query", TPA, Exact} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table() missing %q:\n%s", want, table)
+		}
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ArenaReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) {
+		t.Errorf("round-trip lost cells: %d vs %d", len(back.Cells), len(rep.Cells))
+	}
+}

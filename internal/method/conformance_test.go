@@ -1,0 +1,225 @@
+package method
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"tpa/internal/core"
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+	"tpa/internal/rwr"
+)
+
+// The conformance suite holds every registered method to the same contract
+// on one small SBM graph: typed seed validation, mass accounting, TopK
+// ordering, and agreement with exact RWR within the method's own declared
+// Stats().Bound. Adding an engine to the registry automatically opts it in.
+
+const (
+	confNodes = 300
+	confSeedA = 3   // inside the first community
+	confSeedB = 151 // inside the second community
+)
+
+var confSeeds = []int{confSeedA, confSeedB, 299}
+
+var confOnce struct {
+	sync.Once
+	walk  *graph.Walk
+	cfg   rwr.Config
+	exact map[int][]float64 // seed → exact vector
+}
+
+func confSetup(t *testing.T) (*graph.Walk, rwr.Config, map[int][]float64) {
+	t.Helper()
+	confOnce.Do(func() {
+		g := gen.SBM(gen.SBMConfig{
+			Nodes: confNodes, Communities: 3, AvgOutDeg: 8, PIn: 0.9, Seed: 7,
+		})
+		confOnce.walk = graph.NewWalk(g, graph.DanglingSelfLoop)
+		confOnce.cfg = rwr.DefaultConfig()
+		confOnce.exact = make(map[int][]float64)
+		for _, s := range confSeeds {
+			ex, err := core.ExactRWR(confOnce.walk, s, confOnce.cfg)
+			if err != nil {
+				panic(err)
+			}
+			confOnce.exact[s] = ex
+		}
+	})
+	return confOnce.walk, confOnce.cfg, confOnce.exact
+}
+
+// confMethod returns a fresh, preprocessed instance of the named method on
+// the shared conformance graph.
+func confMethod(t *testing.T, name string) Method {
+	t.Helper()
+	w, cfg, _ := confSetup(t)
+	m, err := New(name)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	if m.Name() != name {
+		t.Fatalf("Name() = %q, registered as %q", m.Name(), name)
+	}
+	if err := m.Preprocess(w, cfg); err != nil {
+		t.Fatalf("Preprocess(%s): %v", name, err)
+	}
+	return m
+}
+
+func TestConformanceNotPreprocessed(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := m.Query(0); !errors.Is(err, ErrNotPreprocessed) {
+				t.Errorf("Query before Preprocess: got %v, want ErrNotPreprocessed", err)
+			}
+			if _, _, err := m.TopK(0, 5); !errors.Is(err, ErrNotPreprocessed) {
+				t.Errorf("TopK before Preprocess: got %v, want ErrNotPreprocessed", err)
+			}
+		})
+	}
+}
+
+func TestConformanceSeedValidation(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := confMethod(t, name)
+			for _, bad := range []int{-1, confNodes, confNodes + 17} {
+				_, _, err := m.Query(bad)
+				if !errors.Is(err, ErrSeedOutOfRange) {
+					t.Errorf("Query(%d): got %v, want ErrSeedOutOfRange", bad, err)
+				}
+				// The same violation must fail identically every time —
+				// no state from earlier queries may leak into validation.
+				_, _, err2 := m.Query(bad)
+				if err == nil || err2 == nil || err.Error() != err2.Error() {
+					t.Errorf("Query(%d) not deterministic: %v vs %v", bad, err, err2)
+				}
+				if _, _, err := m.TopK(bad, 5); !errors.Is(err, ErrSeedOutOfRange) {
+					t.Errorf("TopK(%d): got %v, want ErrSeedOutOfRange", bad, err)
+				}
+			}
+			// A valid query must still succeed after rejected ones.
+			if _, _, err := m.Query(confSeedA); err != nil {
+				t.Errorf("Query(%d) after rejections: %v", confSeedA, err)
+			}
+		})
+	}
+}
+
+func TestConformanceMassAndAccuracy(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			_, _, exact := confSetup(t)
+			m := confMethod(t, name)
+			bound := m.Stats().Bound
+			if bound <= 0 {
+				t.Fatalf("Stats().Bound = %v, want > 0", bound)
+			}
+			worst := 0.0
+			for _, s := range confSeeds {
+				r, meta, err := m.Query(s)
+				if err != nil {
+					t.Fatalf("Query(%d): %v", s, err)
+				}
+				if len(r) != confNodes {
+					t.Fatalf("Query(%d): %d entries, want %d", s, len(r), confNodes)
+				}
+				// Mass accounting: scores are a (sub)probability vector.
+				var sum float64
+				for _, v := range r {
+					if v < -1e-12 {
+						t.Fatalf("Query(%d): negative score %v", s, v)
+					}
+					sum += v
+				}
+				if sum > 1+bound+1e-9 {
+					t.Errorf("Query(%d): mass %v exceeds 1+bound", s, sum)
+				}
+				low := 1 - bound - 1e-9
+				if meta.Substochastic {
+					// Substochastic methods still must retain most mass.
+					low = 0.5
+				}
+				if sum < low {
+					t.Errorf("Query(%d): mass %v below %v", s, sum, low)
+				}
+				// Accuracy against exact, within the declared bound.
+				var l1 float64
+				for i, v := range r {
+					l1 += math.Abs(v - exact[s][i])
+				}
+				if l1 > worst {
+					worst = l1
+				}
+				if l1 > bound {
+					t.Errorf("Query(%d): L1 error %v exceeds declared bound %v", s, l1, bound)
+				}
+			}
+			t.Logf("%s: worst L1 %.4g vs declared bound %.4g", name, worst, bound)
+		})
+	}
+}
+
+func TestConformanceTopKOrdering(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := confMethod(t, name)
+			const k = 10
+			top, _, err := m.TopK(confSeedA, k)
+			if err != nil {
+				t.Fatalf("TopK: %v", err)
+			}
+			if len(top) == 0 || len(top) > k {
+				t.Fatalf("TopK returned %d entries, want 1..%d", len(top), k)
+			}
+			for i := 1; i < len(top); i++ {
+				if top[i].Score > top[i-1].Score {
+					t.Errorf("TopK not ordered at %d: %v > %v", i, top[i].Score, top[i-1].Score)
+				}
+			}
+			seen := make(map[int]bool, len(top))
+			for _, e := range top {
+				if e.Index < 0 || e.Index >= confNodes {
+					t.Errorf("TopK node %d out of range", e.Index)
+				}
+				if seen[e.Index] {
+					t.Errorf("TopK repeats node %d", e.Index)
+				}
+				seen[e.Index] = true
+			}
+			// The seed's own community should dominate the top ranks: the
+			// seed itself must appear (restart mass c is the largest single
+			// score in every method's answer on this graph).
+			if !seen[confSeedA] {
+				t.Errorf("TopK(%d) does not include the seed", confSeedA)
+			}
+		})
+	}
+}
+
+// TestConformanceStats checks the accounting side of the contract: methods
+// that build an index report its size, and preprocessing time is recorded
+// for everything that does real work up front.
+func TestConformanceStats(t *testing.T) {
+	indexed := map[string]bool{TPA: true, Bear: true, BePI: true, NBLin: true}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			m := confMethod(t, name)
+			st := m.Stats()
+			if indexed[name] && st.IndexBytes <= 0 {
+				t.Errorf("IndexBytes = %d, want > 0 for indexed method", st.IndexBytes)
+			}
+			if indexed[name] && st.PreprocessTime <= 0 {
+				t.Errorf("PreprocessTime = %v, want > 0", st.PreprocessTime)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package method
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Canonical registry names for the built-in methods. Registry lookups are
+// case-insensitive, so "TPA" and "tpa" resolve to the same factory.
+const (
+	TPA     = "tpa"     // the paper's method (internal/core)
+	Exact   = "exact"   // CPI run to convergence (ground truth)
+	MC      = "mc"      // plain Monte-Carlo walk estimation
+	Bear    = "bear"    // BEAR-APPROX (drop-sparsified block elimination)
+	BePI    = "bepi"    // BePI (exact block elimination + iterative Schur)
+	FORA    = "fora"    // FORA+ (forward push + indexed walks)
+	HubPPR  = "hubppr"  // HubPPR (bidirectional with hub indexes)
+	FastPPR = "fastppr" // FAST-PPR (frontier bidirectional, pair-based)
+	BiPPR   = "bippr"   // BiPPR (bidirectional, index-free, pair-based)
+	BRPPR   = "brppr"   // boundary-restricted push (online-only)
+	NBLin   = "nblin"   // NB-LIN (low-rank + per-partition inverses)
+)
+
+// ErrUnknownMethod is wrapped by New for names nothing has registered.
+// Test with errors.Is.
+var ErrUnknownMethod = errors.New("unknown method")
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]func() Method)
+)
+
+// Register makes a method constructible by name. The factory must return a
+// fresh, un-preprocessed instance on every call. Names are case-insensitive
+// and must be unique; a duplicate registration panics (it is a programmer
+// error, caught at init time).
+func Register(name string, factory func() Method) {
+	key := strings.ToLower(name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("method: duplicate registration of %q", name))
+	}
+	registry[key] = factory
+}
+
+// New returns a fresh instance of the named method, ready for Preprocess.
+// Unknown names fail with an error wrapping ErrUnknownMethod that lists
+// what is registered.
+func New(name string) (Method, error) {
+	regMu.RLock()
+	factory, ok := registry[strings.ToLower(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("method: %q: %w (registered: %s)",
+			name, ErrUnknownMethod, strings.Join(Names(), ", "))
+	}
+	return factory(), nil
+}
+
+// Names returns every registered method name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

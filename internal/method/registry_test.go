@@ -1,0 +1,78 @@
+package method
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{BePI, Bear, BiPPR, BRPPR, Exact, FORA, FastPPR, HubPPR, MC, NBLin, TPA}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %d built-in methods", got, len(want))
+	}
+	set := make(map[string]bool, len(got))
+	for _, n := range got {
+		set[n] = true
+	}
+	for _, n := range want {
+		if !set[n] {
+			t.Errorf("Names() missing %q", n)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("Names() not sorted at %d: %q >= %q", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestRegistryCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"tpa", "TPA", "Tpa"} {
+		m, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != TPA {
+			t.Errorf("New(%q).Name() = %q, want %q", name, m.Name(), TPA)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	_, err := New("no-such-engine")
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("New(unknown): got %v, want ErrUnknownMethod", err)
+	}
+}
+
+func TestRegistryFreshInstances(t *testing.T) {
+	a, err := New(TPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(TPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("New returned the same instance twice")
+	}
+	// A fresh instance must be un-preprocessed even if another was prepared.
+	w, cfg, _ := confSetup(t)
+	if err := a.Preprocess(w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Query(0); !errors.Is(err, ErrNotPreprocessed) {
+		t.Errorf("sibling instance shares state: %v", err)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("TPA", func() Method { return &TPAMethod{} })
+}

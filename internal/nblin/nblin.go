@@ -303,7 +303,7 @@ func (nb *NBLin) IndexBytes() int64 {
 func (nb *NBLin) Query(seed int) (sparse.Vector, error) {
 	n := nb.walk.N()
 	if seed < 0 || seed >= n {
-		return nil, fmt.Errorf("nblin: seed %d outside [0,%d)", seed, n)
+		return nil, rwr.CheckSeed("nblin", seed, n)
 	}
 	q := sparse.NewVector(n)
 	q[nb.perm[seed]] = 1

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"tpa/internal/graph"
+	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 )
 
@@ -40,7 +41,7 @@ type ForwardResult struct {
 // approximation; the residual sum bounds the L1 error.
 func Forward(w *graph.Walk, seed int, c, rmax float64) (*ForwardResult, error) {
 	if seed < 0 || seed >= w.N() {
-		return nil, fmt.Errorf("push: seed %d outside [0,%d)", seed, w.N())
+		return nil, rwr.CheckSeed("push", seed, w.N())
 	}
 	if c <= 0 || c >= 1 {
 		return nil, fmt.Errorf("push: restart probability %v outside (0,1)", c)
@@ -118,7 +119,7 @@ type BackwardResult struct {
 // CSC.
 func Backward(w *graph.Walk, target int, c, rmax float64) (*BackwardResult, error) {
 	if target < 0 || target >= w.N() {
-		return nil, fmt.Errorf("push: target %d outside [0,%d)", target, w.N())
+		return nil, fmt.Errorf("push: target %d outside [0,%d): %w", target, w.N(), rwr.ErrSeedOutOfRange)
 	}
 	if c <= 0 || c >= 1 {
 		return nil, fmt.Errorf("push: restart probability %v outside (0,1)", c)

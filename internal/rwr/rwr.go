@@ -6,11 +6,30 @@
 package rwr
 
 import (
+	"errors"
 	"fmt"
 
 	"tpa/internal/graph"
 	"tpa/internal/sparse"
 )
+
+// ErrSeedOutOfRange is wrapped by every solver in this repository when a
+// query references a node outside the graph's [0,n) id range. It lives here
+// — the lowest layer every engine imports — so all nine method packages can
+// share one typed error without an import cycle; internal/method re-exports
+// it as method.ErrSeedOutOfRange. Test with errors.Is.
+var ErrSeedOutOfRange = errors.New("seed node out of range")
+
+// CheckSeed validates a seed id against the node count, returning an error
+// wrapping ErrSeedOutOfRange with the caller's package prefix. It is the
+// one range check behind every engine's query path, so the error shape (and
+// errors.Is behavior) is identical across methods.
+func CheckSeed(pkg string, seed, n int) error {
+	if seed < 0 || seed >= n {
+		return fmt.Errorf("%s: seed %d outside [0,%d): %w", pkg, seed, n, ErrSeedOutOfRange)
+	}
+	return nil
+}
 
 // Operator is the minimal interface RWR iterations need: the node count
 // and the application of (the column-stochastic) Ãᵀ to a score vector.
@@ -77,8 +96,8 @@ func SeedVector(n int, seeds []int) (sparse.Vector, error) {
 	q := sparse.NewVector(n)
 	w := 1 / float64(len(seeds))
 	for _, s := range seeds {
-		if s < 0 || s >= n {
-			return nil, fmt.Errorf("rwr: seed %d outside [0,%d)", s, n)
+		if err := CheckSeed("rwr", s, n); err != nil {
+			return nil, err
 		}
 		q[s] += w
 	}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpa/internal/method"
+	"tpa/internal/sparse"
+)
+
+// ?method= serving: the query endpoints accept a method parameter naming
+// any engine in the internal/method registry, turning the server from a
+// TPA-only service into a serving surface for every algorithm the repo
+// implements. The native TPA engine stays the default (no parameter, or
+// method=tpa) and keeps its whole feature set — top-k cache, deadlines,
+// batch fan-out. Alternative methods are built lazily per serving state on
+// first use: a reload or edge mutation swaps in a fresh state, so method
+// instances are rebuilt on the new graph and never serve stale answers.
+
+// MethodProvider is the optional capability interface an Engine implements
+// to serve alternative methods: it builds a named engine over the same
+// graph and RWR configuration the native engine answers for. *tpa.Engine
+// implements it (except for streaming/overlay engines, where it fails).
+type MethodProvider interface {
+	NewMethod(name string) (method.Method, error)
+}
+
+// methodEntry is one lazily built alternative method on one serving state.
+// Method adapters are not safe for concurrent queries (PRNGs, scratch), so
+// mu serializes them; distinct methods run concurrently.
+type methodEntry struct {
+	name  string
+	build sync.Once
+	// done flips true after build completes; readers that did not go
+	// through build.Do (/stats, /metrics snapshots) must check it before
+	// touching m/err/buildMS, as the atomic store is what publishes them.
+	done    atomic.Bool
+	m       method.Method
+	buildMS float64
+	err     error
+	mu      sync.Mutex
+	queries atomic.Int64
+}
+
+// methodState is the per-engineState cache of alternative methods.
+type methodState struct {
+	mu      sync.Mutex
+	entries map[string]*methodEntry
+}
+
+// entry returns the state's entry for the (registry-canonical) name,
+// creating it un-built if needed. Only names the registry knows reach this
+// point, so the map is bounded by the registry size.
+func (ms *methodState) entry(name string) *methodEntry {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	e := ms.entries[name]
+	if e == nil {
+		e = &methodEntry{name: name}
+		ms.entries[name] = e
+	}
+	return e
+}
+
+// loaded snapshots the built entries, sorted by name, for /stats, /graphs
+// and /metrics.
+func (ms *methodState) loaded() []*methodEntry {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]*methodEntry, 0, len(ms.entries))
+	for _, e := range ms.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// get builds the entry's method on first use via the state's provider.
+// A build error is cached for the life of the serving state: preprocessing
+// is deterministic on a fixed graph, and the next reload gets a fresh
+// state anyway.
+func (e *methodEntry) get(mp MethodProvider) (method.Method, error) {
+	e.build.Do(func() {
+		start := time.Now()
+		e.m, e.err = mp.NewMethod(e.name)
+		e.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
+		e.done.Store(true)
+	})
+	return e.m, e.err
+}
+
+// query runs one serialized full-vector query through the entry.
+func (e *methodEntry) query(mp MethodProvider, seed int) (sparse.Vector, method.QueryMeta, error) {
+	m, err := e.get(mp)
+	if err != nil {
+		return nil, method.QueryMeta{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries.Add(1)
+	return m.Query(seed)
+}
+
+// topK runs one serialized top-k query through the entry.
+func (e *methodEntry) topK(mp MethodProvider, seed, k int) ([]sparse.Entry, method.QueryMeta, error) {
+	m, err := e.get(mp)
+	if err != nil {
+		return nil, method.QueryMeta{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries.Add(1)
+	return m.TopK(seed, k)
+}
+
+// snapshot returns the entry's introspection map for /stats and /graphs,
+// or nil if the method was never (successfully) built.
+func (e *methodEntry) snapshot() map[string]interface{} {
+	if !e.done.Load() {
+		return nil
+	}
+	if e.err != nil {
+		return map[string]interface{}{"error": e.err.Error()}
+	}
+	st := e.m.Stats()
+	return map[string]interface{}{
+		"queries":        e.queries.Load(),
+		"index_bytes":    st.IndexBytes,
+		"preprocess_ms":  float64(st.PreprocessTime) / float64(time.Millisecond),
+		"build_ms":       e.buildMS,
+		"declared_bound": st.Bound,
+	}
+}
+
+// methodFor resolves the ?method= parameter of a query request against the
+// serving state. It returns (nil, true) for the native TPA path (no
+// parameter, or method=tpa), (entry, true) for an alternative method, and
+// (nil, false) after writing the error response itself:
+//
+//   - 400 for names the registry does not know,
+//   - 400 for an explicit non-zero deadline header — alternative methods
+//     have no partial-answer contract, and silently ignoring an SLO would
+//     be worse than rejecting it (an explicit "0" is allowed),
+//   - 501 when the graph's engine cannot build methods (streaming engines).
+func (h *Handler) methodFor(w http.ResponseWriter, r *http.Request, st *engineState) (*methodEntry, bool) {
+	raw := r.URL.Query().Get("method")
+	if raw == "" {
+		return nil, true
+	}
+	name := strings.ToLower(raw)
+	if name == method.TPA {
+		// The native engine IS the tpa method; serve it with the full
+		// feature set rather than a duplicate index.
+		return nil, true
+	}
+	if _, err := method.New(name); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	if v := r.Header.Get(DeadlineHeader); v != "" && v != "0" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"method %q does not support %s: only the native tpa engine has a partial-answer contract (send 0 or drop the header)",
+			name, DeadlineHeader))
+		return nil, false
+	}
+	if _, ok := st.eng.(MethodProvider); !ok {
+		httpError(w, http.StatusNotImplemented, fmt.Sprintf(
+			"graph's engine cannot serve alternative methods (no MethodProvider); method %q unavailable", name))
+		return nil, false
+	}
+	return st.methods.entry(name), true
+}
+
+// methodErrorStatus maps a method-path error to an HTTP status: build
+// failures are the server's problem, bad seeds are the client's, and an
+// engine that cannot build methods for its current state (uncompacted
+// overlay, streaming) is a capability gap, same as a missing
+// MethodProvider.
+func methodErrorStatus(err error) int {
+	if errors.Is(err, method.ErrSeedOutOfRange) {
+		return http.StatusUnprocessableEntity
+	}
+	if errors.Is(err, method.ErrUnknownMethod) {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, method.ErrUnavailable) {
+		return http.StatusNotImplemented
+	}
+	return http.StatusInternalServerError
+}
+
+// methodTopK serves GET /topk?method=… — uncached, undeadlined, serialized
+// per method instance.
+func (h *Handler) methodTopK(w http.ResponseWriter, r *http.Request, e *graphEntry, st *engineState, me *methodEntry, seed, k int) {
+	mp := st.eng.(MethodProvider)
+	top, meta, err := me.topK(mp, seed, k)
+	if err != nil {
+		httpError(w, methodErrorStatus(err), err.Error())
+		return
+	}
+	resp := map[string]interface{}{
+		"seed":    seed,
+		"method":  me.name,
+		"results": toJSON(top),
+		"bound":   me.m.Stats().Bound,
+	}
+	if meta.Substochastic {
+		resp["substochastic"] = true
+	}
+	writeJSON(w, resp)
+}
+
+// methodScore serves GET /score?method=….
+func (h *Handler) methodScore(w http.ResponseWriter, r *http.Request, e *graphEntry, st *engineState, me *methodEntry, seed, node int) {
+	mp := st.eng.(MethodProvider)
+	scores, _, err := me.query(mp, seed)
+	if err != nil {
+		httpError(w, methodErrorStatus(err), err.Error())
+		return
+	}
+	if node >= len(scores) {
+		httpError(w, http.StatusUnprocessableEntity, "node out of range")
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"seed": seed, "node": node, "score": scores[node], "method": me.name,
+	})
+}
+
+// methodBatch serves POST /batch?method=…: one serialized top-k query per
+// seed. No cache, no worker fan-out — alternative engines are benchmarking
+// and comparison surfaces, not the latency-critical path.
+func (h *Handler) methodBatch(w http.ResponseWriter, r *http.Request, e *graphEntry, st *engineState, me *methodEntry, seeds []int, k int) {
+	mp := st.eng.(MethodProvider)
+	out := make([]seedResult, len(seeds))
+	for i, s := range seeds {
+		top, _, err := me.topK(mp, s, k)
+		if err != nil {
+			httpError(w, methodErrorStatus(err), fmt.Sprintf("seed %d: %v", s, err))
+			return
+		}
+		out[i] = seedResult{Seed: s, Results: toJSON(top)}
+	}
+	writeJSON(w, map[string]interface{}{"k": k, "method": me.name, "results": out})
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tpa"
+	"tpa/internal/method"
+)
+
+// getHeader is get with one request header set.
+func getHeader(t *testing.T, h http.Handler, path, header, value string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set(header, value)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp map[string]interface{}
+	if rec.Body.Len() > 0 {
+		_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	}
+	return rec, resp
+}
+
+func TestMethodTopK(t *testing.T) {
+	h := testHandler(t)
+	for _, m := range []string{"fora", "exact", "brppr"} {
+		rec, body := get(t, h, "/topk?seed=1&k=5&method="+m)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("method %s: %d (%v)", m, rec.Code, body)
+		}
+		if body["method"] != m {
+			t.Errorf("method %s: response method = %v", m, body["method"])
+		}
+		results := body["results"].([]interface{})
+		if len(results) != 5 {
+			t.Errorf("method %s: %d results, want 5", m, len(results))
+		}
+		if _, ok := body["bound"].(float64); !ok {
+			t.Errorf("method %s: missing bound", m)
+		}
+	}
+	// brppr answers are substochastic and say so.
+	_, body := get(t, h, "/topk?seed=1&k=5&method=brppr")
+	if body["substochastic"] != true {
+		t.Errorf("brppr response missing substochastic flag: %v", body)
+	}
+	// The names are case-insensitive, like the registry.
+	if rec, _ := get(t, h, "/topk?seed=1&k=5&method=FORA"); rec.Code != http.StatusOK {
+		t.Errorf("uppercase method name rejected: %d", rec.Code)
+	}
+}
+
+func TestMethodTopKAgreesAcrossEngines(t *testing.T) {
+	// The deterministic methods must broadly agree with the default TPA
+	// engine on the top-ranked node: they answer the same RWR problem.
+	h := testHandler(t)
+	_, def := get(t, h, "/topk?seed=7&k=1")
+	_, ex := get(t, h, "/topk?seed=7&k=1&method=exact")
+	top := func(body map[string]interface{}) float64 {
+		return body["results"].([]interface{})[0].(map[string]interface{})["node"].(float64)
+	}
+	if top(def) != top(ex) {
+		t.Errorf("tpa top-1 node %v != exact top-1 node %v", top(def), top(ex))
+	}
+}
+
+func TestMethodScoreAndBatch(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/score?seed=1&node=1&method=exact")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score: %d (%v)", rec.Code, body)
+	}
+	if body["method"] != "exact" || body["score"].(float64) <= 0 {
+		t.Errorf("score response: %v", body)
+	}
+	rec, body = postJSON(t, h, "/batch?method=fora", `{"seeds":[1,2,3],"k":4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d (%v)", rec.Code, body)
+	}
+	if body["method"] != "fora" {
+		t.Errorf("batch method = %v", body["method"])
+	}
+	if results := body["results"].([]interface{}); len(results) != 3 {
+		t.Errorf("batch results = %d, want 3", len(results))
+	}
+}
+
+func TestMethodErrors(t *testing.T) {
+	h := testHandler(t)
+	// Unknown method → 400 naming the registry.
+	rec, body := get(t, h, "/topk?seed=1&method=no-such-engine")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown method: %d, want 400", rec.Code)
+	}
+	if msg, _ := body["error"].(string); msg == "" {
+		t.Error("unknown method: no error message")
+	}
+	// Out-of-range seed through a method → 422, same as the native path.
+	if rec, _ := get(t, h, "/topk?seed=5000&method=exact"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad seed: %d, want 422", rec.Code)
+	}
+	// Methods have no partial-answer contract: an explicit non-zero
+	// deadline is a contract violation, rejected rather than ignored.
+	rec, _ = getHeader(t, h, "/topk?seed=1&method=exact", DeadlineHeader, "50")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("deadline + method: %d, want 400", rec.Code)
+	}
+	// An explicit 0 disables the deadline and is allowed.
+	if rec, _ := getHeader(t, h, "/topk?seed=1&method=exact", DeadlineHeader, "0"); rec.Code != http.StatusOK {
+		t.Errorf("deadline 0 + method: %d, want 200", rec.Code)
+	}
+	// queryset is a TPA-engine feature.
+	if rec, _ := postJSON(t, h, "/queryset?method=exact", `{"seeds":[1,2],"k":3}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("queryset + method: %d, want 400", rec.Code)
+	}
+	// ...but method=tpa is the native engine everywhere.
+	if rec, _ := postJSON(t, h, "/queryset?method=tpa", `{"seeds":[1,2],"k":3}`); rec.Code != http.StatusOK {
+		t.Errorf("queryset + method=tpa: %d, want 200", rec.Code)
+	}
+	if rec, _ := get(t, h, "/topk?seed=1&k=5&method=tpa"); rec.Code != http.StatusOK {
+		t.Errorf("topk + method=tpa: %d, want 200", rec.Code)
+	}
+}
+
+func TestMethodUnavailableOnOverlayEngine(t *testing.T) {
+	// An engine carrying an uncompacted mutation overlay has no CSR graph
+	// to preprocess an alternative method over; the capability gap is 501,
+	// not a 500 pretending something broke.
+	eng := testEngine(t)
+	// Add edges until one actually takes effect — an all-no-op batch leaves
+	// the engine (and its CSR) untouched.
+	mutated := eng
+	for tgt := 100; tgt < 120; tgt++ {
+		m, st, err := eng.ApplyEdges([][2]int{{1, tgt}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Added == 1 && st.PendingOps > 0 {
+			mutated = m
+			break
+		}
+	}
+	if mutated == eng {
+		t.Fatal("could not produce an engine with an uncompacted overlay")
+	}
+	h := New(mutated, Info{Nodes: 200, Edges: 1801, Name: "test"})
+	rec, body := get(t, h, "/topk?seed=1&k=3&method=exact")
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("overlay engine method query: %d (%v), want 501", rec.Code, body)
+	}
+	// The native path is unaffected.
+	if rec, _ := get(t, h, "/topk?seed=1&k=3"); rec.Code != http.StatusOK {
+		t.Errorf("native query on overlay engine: %d", rec.Code)
+	}
+}
+
+func TestMethodDefaultDeadlineNotApplied(t *testing.T) {
+	// Options.DefaultDeadline drives the TPA partial-answer path; method
+	// queries must run to completion rather than 400 or degrade.
+	eng := testEngine(t)
+	h := NewWith(eng, Info{Nodes: 200, Edges: 1800, Name: "test"},
+		Options{DefaultDeadline: 1, CacheSize: 16})
+	rec, body := get(t, h, "/topk?seed=1&k=5&method=exact")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("method with DefaultDeadline set: %d (%v)", rec.Code, body)
+	}
+	if _, partial := body["partial"]; partial {
+		t.Error("method answer carries deadline meta")
+	}
+}
+
+func TestMethodIntrospection(t *testing.T) {
+	h := testHandler(t)
+	get(t, h, "/topk?seed=1&k=5&method=fora")
+	get(t, h, "/topk?seed=2&k=5&method=fora")
+
+	// /graphs lists the registry and the built methods.
+	_, body := get(t, h, "/graphs")
+	avail := body["methods_available"].([]interface{})
+	if len(avail) != len(method.Names()) {
+		t.Errorf("methods_available = %d entries, want %d", len(avail), len(method.Names()))
+	}
+	g := body["graphs"].([]interface{})[0].(map[string]interface{})
+	fora, ok := g["methods"].(map[string]interface{})["fora"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("graph methods missing fora: %v", g["methods"])
+	}
+	if fora["queries"].(float64) != 2 {
+		t.Errorf("fora queries = %v, want 2", fora["queries"])
+	}
+
+	// /graphs/{name}/stats carries the same per-method map.
+	_, stats := get(t, h, "/graphs/default/stats")
+	if _, ok := stats["methods"].(map[string]interface{})["fora"]; !ok {
+		t.Errorf("graph stats missing fora method entry: %v", stats["methods"])
+	}
+
+	// /metrics grows per-method series for built methods only.
+	samples, _ := scrapeMetrics(t, h)
+	found := false
+	for _, s := range samples {
+		if s.name == "tpa_method_queries_total" &&
+			s.labels["graph"] == "default" && s.labels["method"] == "fora" {
+			found = true
+			if s.value != 2 {
+				t.Errorf("tpa_method_queries_total = %v, want 2", s.value)
+			}
+		}
+		if s.labels["method"] == "exact" {
+			t.Errorf("unbuilt method exported on /metrics: %v", s)
+		}
+	}
+	if !found {
+		t.Error("tpa_method_queries_total{method=fora} missing from /metrics")
+	}
+}
+
+func TestMethodReloadRebuildsMethods(t *testing.T) {
+	// A hot reload swaps the serving state; methods must be rebuilt on the
+	// new state, and queries racing the swap must keep answering. Run with
+	// -race for the real assertion.
+	h := NewRegistry(DefaultOptions())
+	loader := func() (Engine, Info, error) {
+		g := tpa.RandomCommunityGraph(150, 1200, 3, 7)
+		eng, err := tpa.New(g, tpa.Defaults())
+		return eng, Info{Nodes: 150, Edges: 1200, Name: "live"}, err
+	}
+	if err := h.RegisterLoader("live", loader); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			methods := []string{"fora", "exact", "brppr", "mc"}
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := methods[(worker+j)%len(methods)]
+				path := fmt.Sprintf("/graphs/live/topk?seed=%d&k=3&method=%s", j%150, m)
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("query during reload: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		rec, body := postJSON(t, h, "/graphs/live/reload", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reload %d: %d (%v)", i, rec.Code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the last reload the method cache belongs to the new state:
+	// counters restarted from the traffic since the swap, never negative,
+	// and a fresh query still works.
+	if rec, _ := get(t, h, "/graphs/live/topk?seed=3&k=3&method=fora"); rec.Code != http.StatusOK {
+		t.Fatalf("post-reload method query: %d", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpa/internal/method"
 	"tpa/internal/sparse"
 )
 
@@ -26,6 +27,10 @@ type engineState struct {
 	info     Info
 	cache    *topkCache // nil when Options.CacheSize == 0
 	loadedAt time.Time
+	// methods caches lazily built alternative engines (?method=) for this
+	// state. Tied to the state on purpose: a reload or mutation swap
+	// discards it, so methods are rebuilt against the new graph.
+	methods *methodState
 }
 
 // cachedTopK answers a top-k query through this state's cache partition,
@@ -59,7 +64,10 @@ type graphEntry struct {
 }
 
 func (h *Handler) newState(eng Engine, info Info) *engineState {
-	st := &engineState{eng: eng, info: info, loadedAt: time.Now()}
+	st := &engineState{
+		eng: eng, info: info, loadedAt: time.Now(),
+		methods: &methodState{entries: make(map[string]*methodEntry)},
+	}
 	if h.opts.CacheSize > 0 {
 		st.cache = newTopkCache(h.opts.CacheSize)
 	}
@@ -197,9 +205,14 @@ func (h *Handler) listGraphs(w http.ResponseWriter, r *http.Request) {
 			"mutations":  e.mutations.Load(),
 			"reloadable": e.loader != nil,
 			"loaded_at":  st.loadedAt.UTC().Format(time.RFC3339),
+			"methods":    methodsJSON(st),
 		}
 	}
-	writeJSON(w, map[string]interface{}{"count": len(graphs), "graphs": graphs})
+	writeJSON(w, map[string]interface{}{
+		"count":             len(graphs),
+		"graphs":            graphs,
+		"methods_available": method.Names(),
+	})
 }
 
 // graphStats serves GET /graphs/{name}/stats: the engine metadata and
@@ -227,7 +240,21 @@ func (h *Handler) graphStats(w http.ResponseWriter, r *http.Request) {
 		"reloadable":  e.loader != nil,
 		"loaded_at":   st.loadedAt.UTC().Format(time.RFC3339),
 		"cache":       cache,
+		"methods":     methodsJSON(st),
 	})
+}
+
+// methodsJSON summarizes the state's lazily built alternative methods:
+// name → per-method counters. The native TPA engine is not listed — its
+// stats are the graph's own (index_bytes, error_bound, queries).
+func methodsJSON(st *engineState) map[string]interface{} {
+	out := map[string]interface{}{}
+	for _, me := range st.methods.loaded() {
+		if snap := me.snapshot(); snap != nil {
+			out[me.name] = snap
+		}
+	}
+	return out
 }
 
 // reloadGraph serves POST /graphs/{name}/reload: rebuild the engine via

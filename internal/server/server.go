@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -300,6 +301,14 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.queries.Add(1)
+	me, ok := h.methodFor(w, r, st)
+	if !ok {
+		return
+	}
+	if me != nil {
+		h.methodTopK(w, r, e, st, me, seed, k)
+		return
+	}
 	budget, err := h.requestDeadline(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -356,6 +365,14 @@ func (h *Handler) score(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.queries.Add(1)
+	me, ok := h.methodFor(w, r, st)
+	if !ok {
+		return
+	}
+	if me != nil {
+		h.methodScore(w, r, e, st, me, seed, node)
+		return
+	}
 	budget, err := h.requestDeadline(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -435,6 +452,14 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	e.queries.Add(1)
+	me, ok := h.methodFor(w, r, st)
+	if !ok {
+		return
+	}
+	if me != nil {
+		h.methodBatch(w, r, e, st, me, req.Seeds, req.K)
+		return
+	}
 	budget, err := h.requestDeadline(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -521,6 +546,13 @@ func (h *Handler) querySet(w http.ResponseWriter, r *http.Request) {
 		req.K = 10
 	}
 	e.queries.Add(1)
+	// Multi-seed restart distributions are a TPA-engine feature; the
+	// Method interface is single-seed by design.
+	if m := r.URL.Query().Get("method"); m != "" && !strings.EqualFold(m, "tpa") {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("queryset supports only the native tpa engine, not method %q", m))
+		return
+	}
 	budget, err := h.requestDeadline(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())

@@ -33,6 +33,7 @@ import (
 	"tpa/internal/core"
 	"tpa/internal/gen"
 	"tpa/internal/graph"
+	"tpa/internal/method"
 	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 	"tpa/internal/stream"
@@ -257,6 +258,33 @@ func (e *Engine) batchWorkers(parallelism int) int {
 
 // TopK returns the k nodes most relevant to the seed, highest score first.
 func (e *Engine) TopK(seed, k int) ([]Entry, error) { return e.tpa.TopK(seed, k) }
+
+// NewMethod builds a named alternative engine (see the internal/method
+// registry: "fora", "bear", "mc", "exact", ...) preprocessed over this
+// engine's graph with this engine's RWR configuration, so its answers
+// address the same problem the TPA index answers. This is the capability
+// the HTTP server's ?method= parameter serves through. It fails for
+// engines without an in-memory CSR graph (streaming engines and engines
+// carrying an uncompacted mutation overlay; errors.Is
+// method.ErrUnavailable) and for unregistered names (errors.Is
+// method.ErrUnknownMethod).
+//
+// Preprocessing cost is the named method's own — potentially far above
+// TPA's. The returned Method is NOT safe for concurrent queries; callers
+// must serialize (the server does).
+func (e *Engine) NewMethod(name string) (method.Method, error) {
+	if e.walk == nil {
+		return nil, fmt.Errorf("tpa: engine has no in-memory CSR graph (streaming or uncompacted overlay): %w", method.ErrUnavailable)
+	}
+	m, err := method.New(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Preprocess(e.walk, e.tpa.Config()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // QueryMeta describes how a deadline-aware query completed: whether the
 // context expired mid-computation (Partial), the split point actually
