@@ -1,0 +1,58 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func rep(cpu string, benches map[string]float64) *report {
+	r := &report{GoOS: "linux", GoArch: "amd64", CPU: cpu}
+	for name, ns := range benches {
+		r.Benchmarks = append(r.Benchmarks, benchResult{Name: name, Runs: 10, NsPerOp: ns})
+	}
+	return r
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	pat := regexp.MustCompile(`QueryBatch|MulT`)
+	base := rep("xeon", map[string]float64{
+		"BenchmarkQueryBatch/w8":      1000,
+		"BenchmarkMulT/plain-natural": 2000,
+		"BenchmarkSnapshotLoad":       500, // unmatched: never compared
+	})
+	for _, tc := range []struct {
+		name string
+		cur  *report
+		pat  *regexp.Regexp
+		want int
+	}{
+		{"within threshold", rep("xeon", map[string]float64{
+			"BenchmarkQueryBatch/w8":      1100, // +10%
+			"BenchmarkMulT/plain-natural": 1500, // improvement
+		}), pat, 0},
+		{"regression fails", rep("xeon", map[string]float64{
+			"BenchmarkQueryBatch/w8":      1400, // +40%
+			"BenchmarkMulT/plain-natural": 2000,
+		}), pat, 1},
+		{"missing benchmark fails", rep("xeon", map[string]float64{
+			"BenchmarkQueryBatch/w8": 1000,
+		}), pat, 1},
+		{"unmatched benchmarks ignored", rep("xeon", map[string]float64{
+			"BenchmarkQueryBatch/w8":      1000,
+			"BenchmarkMulT/plain-natural": 2000,
+			"BenchmarkSnapshotLoad":       50000, // 100x slower but out of scope
+		}), pat, 0},
+		{"hardware mismatch skips", rep("epyc", map[string]float64{
+			"BenchmarkQueryBatch/w8": 99999,
+		}), pat, 0},
+		{"pattern drift fails", rep("xeon", map[string]float64{
+			"BenchmarkQueryBatch/w8": 1000,
+		}), regexp.MustCompile(`NoSuchBench`), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := diff(base, tc.cur, tc.pat, 0.15); got != tc.want {
+				t.Errorf("diff exit = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -18,11 +18,26 @@
 //
 // Exits nonzero when no benchmark lines were found, so a CI regex drift
 // fails loudly instead of archiving an empty report.
+//
+// With -diff it compares two reports instead of converting:
+//
+//	go run ./cmd/benchjson -diff BENCH_baseline.json BENCH_ci.json
+//
+// Every benchmark whose name matches -match (default the hot serving and
+// kernel paths, QueryBatch|MulT) is compared by ns/op; a slowdown beyond
+// -max-regress (default 0.15 = 15%) fails the run, as does a matched
+// baseline entry missing from the current report (a silently dropped
+// benchmark is indistinguishable from a regression). When the two reports
+// were recorded on different hardware (goos/goarch/cpu) the diff is skipped
+// with a warning and exit 0 — a runner change is not a regression, and the
+// committed baseline is refreshed from the first CI artifact of the new
+// hardware.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -73,6 +88,13 @@ var benchName = regexp.MustCompile(`^Benchmark\S+$`)
 var benchTail = regexp.MustCompile(`^\d+\s+.+$`)
 
 func main() {
+	diffBase := flag.String("diff", "", "baseline report to diff the current report against (compare mode)")
+	diffMatch := flag.String("match", "QueryBatch|MulT", "regexp of benchmark names to compare in -diff mode")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum tolerated fractional ns/op slowdown in -diff mode")
+	flag.Parse()
+	if *diffBase != "" {
+		os.Exit(diffMain(*diffBase, flag.Arg(0), *diffMatch, *maxRegress))
+	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -167,4 +189,96 @@ func (rep *report) scanLine(line, pkg string) {
 		res.Metrics[unit] = val
 	}
 	rep.Benchmarks = append(rep.Benchmarks, res)
+}
+
+// loadReport reads a benchjson report from path, or from stdin when path is
+// empty (so CI can pipe the freshly generated report straight into the diff).
+func loadReport(path string) (*report, error) {
+	in := os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	var rep report
+	if err := json.NewDecoder(in).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", pathOrStdin(path), err)
+	}
+	return &rep, nil
+}
+
+func pathOrStdin(path string) string {
+	if path == "" {
+		return "stdin"
+	}
+	return path
+}
+
+// diffMain compares the current report against the baseline and returns the
+// process exit code. Regressions beyond maxRegress in any benchmark matching
+// the pattern fail, as do matched baseline benchmarks that disappeared.
+func diffMain(basePath, curPath, match string, maxRegress float64) int {
+	pat, err := regexp.Compile(match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -match pattern: %v\n", err)
+		return 1
+	}
+	base, err := loadReport(basePath)
+	if err == nil {
+		var cur *report
+		cur, err = loadReport(curPath)
+		if err == nil {
+			return diff(base, cur, pat, maxRegress)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	return 1
+}
+
+func diff(base, cur *report, pat *regexp.Regexp, maxRegress float64) int {
+	// ns/op is only comparable on the same hardware; across machines the
+	// baseline is stale by construction, not regressed.
+	if base.GoOS != cur.GoOS || base.GoArch != cur.GoArch || base.CPU != cur.CPU {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline recorded on %s/%s %q, current on %s/%s %q — skipping diff; refresh the baseline on the new hardware\n",
+			base.GoOS, base.GoArch, base.CPU, cur.GoOS, cur.GoArch, cur.CPU)
+		return 0
+	}
+	curNs := make(map[string]float64, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curNs[b.Name] = b.NsPerOp
+	}
+	matched, failed := 0, 0
+	for _, b := range base.Benchmarks {
+		if !pat.MatchString(b.Name) || b.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		now, ok := curNs[b.Name]
+		if !ok {
+			fmt.Printf("MISSING  %-50s baseline %.0f ns/op, absent from current report\n", b.Name, b.NsPerOp)
+			failed++
+			continue
+		}
+		delta := now/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-8s %-50s %12.0f -> %12.0f ns/op  %+6.1f%%\n", verdict, b.Name, b.NsPerOp, now, 100*delta)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline benchmarks match %q — pattern drift?\n", pat)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% (or went missing)\n",
+			failed, matched, 100*maxRegress)
+		return 1
+	}
+	fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", matched, 100*maxRegress)
+	return 0
 }

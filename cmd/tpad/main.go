@@ -1,6 +1,7 @@
 // Command tpad builds TPA snapshots and serves queries over HTTP:
 //
 //	tpad build -graph edges.tsv [-o edges.tpas] [-s 5 -t 10 -c 0.15] [-workers 8]
+//	           [-order degree|bfs|hubspoke] [-precision 32] [-tile N]
 //	tpad serve -graphs snapshots/ [-addr :8080] [-cache 4096] [-max-inflight 256]
 //	tpad serve -graph edges.tsv [-index prebuilt.idx] [...]
 //	tpad mutate -graph name [-add u,v]... [-remove u,v]... [-file f | -watch f]
@@ -70,6 +71,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tpad build -graph <edges.tsv> [-o <out.tpas>] [-s 5] [-t 10] [-c 0.15] [-eps 1e-9] [-workers N]
+             [-order natural|degree|bfs|hubspoke] [-precision 64|32] [-tile N]
   tpad serve -graphs <dir>      [-addr :8080] [serving flags]
   tpad serve -graph <edges.tsv> [-index <in.idx>] [-addr :8080] [serving flags]
   tpad mutate -graph <name>     [-server URL] [-add u,v]... [-remove u,v]... [-file f]
@@ -81,7 +83,8 @@ func usage() {
              [-workloads uniform,hub,tail] [-queries 10] [-k 20] [-c 0.15] [-eps 1e-9]
              [-seed 1] [-json out.json] [-quiet]
 
-serving flags: -workers N -cache N -max-inflight N -max-batch N -default-deadline D -c -eps -s -t
+serving flags: -workers N -cache N -max-inflight N -max-batch N -default-deadline D
+               -c -eps -s -t -order -precision -tile
 "tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".
 mutate posts edge batches to a running server's POST /graphs/{name}/edges;
 -watch follows a growing mutation file ("+ u v" / "- u v" lines) until ^C.
@@ -95,7 +98,30 @@ func tpaOpts(fs *flag.FlagSet) *tpa.Options {
 	fs.Float64Var(&o.Eps, "eps", o.Eps, "convergence tolerance")
 	fs.IntVar(&o.S, "s", o.S, "neighbor-part start iteration S")
 	fs.IntVar(&o.T, "t", o.T, "stranger-part start iteration T")
+	fs.StringVar(&o.Order, "order", "", "build-time node ordering: "+strings.Join(tpa.Orders(), "|")+" (node ids stay external)")
+	fs.Var(precFlag{&o.Precision}, "precision", "index storage precision: 64 (default) or 32 (half the index, ~1e-4 accuracy cost)")
+	fs.IntVar(&o.Tile, "tile", 0, "cache-tiled kernel source-tile width in nodes (0 = untiled, -1 = default tile)")
 	return &o
+}
+
+// precFlag adapts tpa.Precision to the flag package, so "-precision 32"
+// fails at parse time instead of deep inside engine construction.
+type precFlag struct{ p *tpa.Precision }
+
+func (f precFlag) String() string {
+	if f.p == nil {
+		return ""
+	}
+	return f.p.String()
+}
+
+func (f precFlag) Set(s string) error {
+	p, err := tpa.ParsePrecision(s)
+	if err != nil {
+		return err
+	}
+	*f.p = p
+	return nil
 }
 
 // cmdBuild runs the one-off preprocessing phase and writes the combined
@@ -137,8 +163,15 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	s, t := eng.Params()
-	fmt.Printf("built %s: %d nodes / %d edges (S=%d T=%d), %d bytes\n",
-		dest, g.NumNodes(), g.NumEdges(), s, t, st.Size())
+	extras := ""
+	if eng.Order() != "" && eng.Order() != "natural" {
+		extras += " order=" + eng.Order()
+	}
+	if eng.Precision() == tpa.Float32 {
+		extras += " precision=float32"
+	}
+	fmt.Printf("built %s: %d nodes / %d edges (S=%d T=%d%s), %d bytes\n",
+		dest, g.NumNodes(), g.NumEdges(), s, t, extras, st.Size())
 	fmt.Printf("  parse %v, preprocess %v — serve cold-starts skip both\n",
 		loadT.Round(time.Millisecond), prepT.Round(time.Millisecond))
 	return nil

@@ -123,6 +123,22 @@ func (e *Writer) F64s(vals []float64) {
 	}
 }
 
+// F32s writes a slice of float32 values (IEEE 754 bit patterns).
+func (e *Writer) F32s(vals []float32) {
+	per := len(e.buf) / 4
+	for len(vals) > 0 && e.err == nil {
+		n := len(vals)
+		if n > per {
+			n = per
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(e.buf[i*4:], math.Float32bits(vals[i]))
+		}
+		e.flush(n * 4)
+		vals = vals[n:]
+	}
+}
+
 // Footer writes the CRC32-C of everything written so far (the footer bytes
 // themselves are not hashed) and returns the first error of the whole
 // stream, so it doubles as the final error check.
@@ -243,6 +259,25 @@ func (d *Reader) F64s(dst []float64) {
 		}
 		for i := 0; i < n; i++ {
 			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+// F32s fills dst with float32 values.
+func (d *Reader) F32s(dst []float32) {
+	per := len(d.buf) / 4
+	for len(dst) > 0 && d.err == nil {
+		n := len(dst)
+		if n > per {
+			n = per
+		}
+		b := d.fill(n * 4)
+		if b == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
 		}
 		dst = dst[n:]
 	}

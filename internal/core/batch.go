@@ -22,16 +22,27 @@ import (
 // are pooled on the TPA (see TPA.scratch).
 type queryScratch struct {
 	q, buf, out sparse.Vector
+	// q32/buf32/fam32 are the float32 counterparts, allocated only for
+	// Float32 engines (see precision.go): seed/iterate, propagation buffer
+	// and family accumulator of the reduced-precision online phase.
+	q32, buf32, fam32 sparse.Vector32
 }
 
-// getScratch returns a scratch sized for the current graph, reusing a pooled
-// one when available.
+// getScratch returns a scratch sized for the current graph (and its serving
+// precision), reusing a pooled one when available.
 func (t *TPA) getScratch() *queryScratch {
-	if sc, ok := t.scratch.Get().(*queryScratch); ok && len(sc.q) == t.walk.N() {
+	f32 := t.useF32()
+	if sc, ok := t.scratch.Get().(*queryScratch); ok && len(sc.q) == t.walk.N() && (sc.q32 != nil) == f32 {
 		return sc
 	}
 	n := t.walk.N()
-	return &queryScratch{q: sparse.NewVector(n), buf: sparse.NewVector(n), out: sparse.NewVector(n)}
+	sc := &queryScratch{q: sparse.NewVector(n), buf: sparse.NewVector(n), out: sparse.NewVector(n)}
+	if f32 {
+		sc.q32 = sparse.NewVector32(n)
+		sc.buf32 = sparse.NewVector32(n)
+		sc.fam32 = sparse.NewVector32(n)
+	}
+	return sc
 }
 
 func (t *TPA) putScratch(sc *queryScratch) { t.scratch.Put(sc) }
@@ -52,6 +63,10 @@ func (t *TPA) checkSeeds(seeds []int) error {
 // intermediate state. It is the allocation-free core of Query, QueryBatch
 // and TopKBatch.
 func (t *TPA) queryInto(seeds []int, dst sparse.Vector, sc *queryScratch) {
+	if t.useF32() {
+		t.queryInto32(seeds, dst, sc)
+		return
+	}
 	sc.q.Zero()
 	share := 1 / float64(len(seeds))
 	for _, s := range seeds {
@@ -115,6 +130,24 @@ func (t *TPA) QueryBatch(seeds []int, parallelism int) ([]sparse.Vector, error) 
 		out[i] = dst
 	})
 	return out, nil
+}
+
+// QueryBatchEach is the zero-copy form of QueryBatch: one single-seed query
+// per entry of seeds on the same worker pool, but each answer is handed to
+// emit as a pooled scratch vector instead of a fresh allocation. The vector
+// is only valid for the duration of the emit call; emit runs once per index,
+// possibly concurrently from different workers. Callers that post-process
+// answers into their own storage (e.g. the external-id scatter of reordered
+// engines) save one full-length vector allocation per query.
+func (t *TPA) QueryBatchEach(seeds []int, parallelism int, emit func(i int, r sparse.Vector)) error {
+	if err := t.checkSeeds(seeds); err != nil {
+		return err
+	}
+	t.runBatch(seeds, parallelism, func(i int, sc *queryScratch) {
+		t.queryInto(seeds[i:i+1], sc.out, sc)
+		emit(i, sc.out)
+	})
+	return nil
 }
 
 // TopKBatch answers a top-k query per seed with a worker pool, like

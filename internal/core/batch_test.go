@@ -43,6 +43,38 @@ func TestQueryBatchErrors(t *testing.T) {
 	}
 }
 
+func TestQueryBatchEachMatchesQueryBatch(t *testing.T) {
+	tp, _ := preprocessed(t, 56, DefaultParams())
+	seeds := []int{0, 9, 120, 9, 254}
+	want, err := tp.QueryBatch(seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallelism := range []int{1, 4} {
+		got := make([]sparse.Vector, len(seeds))
+		err := tp.QueryBatchEach(seeds, parallelism, func(i int, r sparse.Vector) {
+			// The scratch is only valid inside the callback — copy out.
+			got[i] = append(sparse.Vector(nil), r...)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seeds {
+			if got[i] == nil {
+				t.Fatalf("parallelism %d: emit skipped index %d", parallelism, i)
+			}
+			if d := want[i].L1Dist(got[i]); d != 0 {
+				t.Errorf("parallelism %d seed %d: QueryBatchEach deviates by %g", parallelism, seeds[i], d)
+			}
+		}
+	}
+	if err := tp.QueryBatchEach([]int{-1}, 2, func(int, sparse.Vector) {
+		t.Error("emit called for an invalid batch")
+	}); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
 func TestTopKBatchMatchesTopK(t *testing.T) {
 	tp, _ := preprocessed(t, 52, DefaultParams())
 	seeds := []int{3, 77, 3, 210}

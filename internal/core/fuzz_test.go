@@ -54,15 +54,25 @@ func seedCorruptions(f *testing.F, blob []byte) {
 	}
 }
 
-// FuzzReadIndex drives arbitrary bytes through the TPA2/TPA1 index decoder
-// bound to a fixed graph: every decode must either produce a usable index
-// for that graph or fail with a typed ErrBadSnapshot — no panics, no
+// FuzzReadIndex drives arbitrary bytes through the TPA3/TPA2/TPA1 index
+// decoder bound to a fixed graph: every decode must either produce a usable
+// index for that graph or fail with a typed ErrBadSnapshot — no panics, no
 // partial state, and no allocation driven by an unvalidated length field
 // (the node count is cross-checked against the graph before the vector is
 // allocated).
 func FuzzReadIndex(f *testing.F) {
-	_, w, idx, _ := fuzzFixture(f)
+	tp, w, idx, _ := fuzzFixture(f)
 	seedCorruptions(f, idx)
+	// A float32 fixture exercises the TPA3 framing (extra precision field,
+	// float32 payload).
+	if err := tp.SetPrecision(Float32); err != nil {
+		f.Fatal(err)
+	}
+	var idx32 bytes.Buffer
+	if err := tp.WriteIndex(&idx32); err != nil {
+		f.Fatal(err)
+	}
+	seedCorruptions(f, idx32.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tp, err := ReadIndex(bytes.NewReader(data), w)
 		if err != nil {
@@ -85,20 +95,36 @@ func FuzzReadIndex(f *testing.F) {
 }
 
 // FuzzReadSnapshot drives arbitrary bytes through the combined TPAS
-// container decoder (outer header + TPAG graph section + TPA2 index
-// section). The stream bound is the input length, as when loading from a
-// file, so a crafted header cannot demand more memory than the input could
-// hold.
+// container decoder (outer header + TPAG graph section + optional TPAP
+// permutation section + TPA3/TPA2 index section), in both the version-1
+// and version-2 framings. The stream bound is the input length, as when
+// loading from a file, so a crafted header cannot demand more memory than
+// the input could hold.
 func FuzzReadSnapshot(f *testing.F) {
-	_, _, _, snap := fuzzFixture(f)
+	tp, w, _, snap := fuzzFixture(f)
 	seedCorruptions(f, snap)
+	// A reordered float32 fixture exercises the version-2 container with
+	// both optional parts at once: the TPAP permutation section and the
+	// TPA3 float32 index section.
+	perm := make([]int32, w.N())
+	for i := range perm {
+		perm[i] = int32(len(perm) - 1 - i)
+	}
+	if err := tp.SetPrecision(Float32); err != nil {
+		f.Fatal(err)
+	}
+	var snap2 bytes.Buffer
+	if err := WriteSnapshotPerm(&snap2, tp, perm); err != nil {
+		f.Fatal(err)
+	}
+	seedCorruptions(f, snap2.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
-		w, tp, err := ReadSnapshotBounded(bytes.NewReader(data), int64(len(data)))
+		w, tp, perm, err := ReadSnapshotBounded(bytes.NewReader(data), int64(len(data)))
 		if err != nil {
 			if !errors.Is(err, ErrBadSnapshot) {
 				t.Fatalf("decode error does not wrap ErrBadSnapshot: %v", err)
 			}
-			if w != nil || tp != nil {
+			if w != nil || tp != nil || perm != nil {
 				t.Fatal("partial state returned alongside error")
 			}
 			return
@@ -108,6 +134,11 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		if len(tp.StrangerVector()) != w.N() {
 			t.Fatal("accepted snapshot has mismatched index and graph sizes")
+		}
+		if perm != nil {
+			if err := graph.CheckPermutation(perm, w.N()); err != nil {
+				t.Fatalf("accepted snapshot carries an invalid permutation: %v", err)
+			}
 		}
 	})
 }

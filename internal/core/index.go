@@ -31,6 +31,24 @@ import (
 //
 // The predecessor format "TPA1" (identical minus the checksum footer) is
 // still readable for indexes written by older builds.
+//
+// "TPA3" is the precision-aware successor: one uint32 precision field
+// (core.Precision) follows the iteration count, and the stranger payload is
+// stored in that precision (float32 bits under Float32 — half the index
+// file). Float64 indexes keep writing "TPA2" so older readers stay
+// compatible; "TPA3" is emitted only when there is something new to say.
+//
+//	offset  size  field ("TPA3" only)
+//	0       4     magic "TPA3"
+//	4       4     S (uint32)
+//	8       4     T (uint32)
+//	12      4     preprocessing iteration count (uint32)
+//	16      4     precision (uint32: 0 float64, 1 float32)
+//	20      8     restart probability c (float64 bits)
+//	28      8     tolerance ε (float64 bits)
+//	36      8     n, the node count (uint64)
+//	44      …     stranger vector (8n or 4n bytes by precision)
+//	…       4     CRC32-C of every preceding byte
 
 // ErrBadSnapshot is wrapped by every index/snapshot decode failure caused
 // by the stream itself; see binio.ErrBadSnapshot. Test with errors.Is.
@@ -38,22 +56,36 @@ var ErrBadSnapshot = binio.ErrBadSnapshot
 
 const (
 	indexMagicV1 = uint32(0x54504131) // legacy, no checksum footer
-	indexMagic   = uint32(0x54504132) // current ("TPA2" semantics)
+	indexMagic   = uint32(0x54504132) // "TPA2": float64, no precision field
+	indexMagicV3 = uint32(0x54504133) // "TPA3": precision-aware payload
 )
 
 // WriteIndex serializes the preprocessed TPA state with an integrity
-// footer. The stream is buffered internally.
+// footer. The stream is buffered internally. Float64 indexes use the
+// "TPA2" layout older builds can read; Float32 indexes use "TPA3" with a
+// float32 payload.
 func (t *TPA) WriteIndex(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	e := binio.NewWriter(bw)
-	e.U32(indexMagic)
+	if t.prec == Float32 {
+		e.U32(indexMagicV3)
+	} else {
+		e.U32(indexMagic)
+	}
 	e.U32(uint32(t.params.S))
 	e.U32(uint32(t.params.T))
 	e.U32(uint32(t.preIters))
+	if t.prec == Float32 {
+		e.U32(uint32(t.prec))
+	}
 	e.U64(math.Float64bits(t.cfg.C))
 	e.U64(math.Float64bits(t.cfg.Eps))
 	e.U64(uint64(len(t.stranger)))
-	e.F64s(t.stranger)
+	if t.prec == Float32 {
+		e.F32s(t.stranger32)
+	} else {
+		e.F64s(t.stranger)
+	}
 	if err := e.Footer(); err != nil {
 		return err
 	}
@@ -77,14 +109,21 @@ func ReadIndex(r io.Reader, w rwr.Operator) (*TPA, error) {
 	s := d.U32()
 	tt := d.U32()
 	preIters := d.U32()
+	prec := Float64
+	if magic == indexMagicV3 {
+		prec = Precision(d.U32())
+	}
 	cBits := d.U64()
 	epsBits := d.U64()
 	n := d.U64()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if magic != indexMagic && magic != indexMagicV1 {
+	if magic != indexMagic && magic != indexMagicV1 && magic != indexMagicV3 {
 		return nil, binio.Errf("core: index has bad magic %#x", magic)
+	}
+	if prec != Float64 && prec != Float32 {
+		return nil, binio.Errf("core: index has unknown precision %d", prec)
 	}
 	if int(n) != w.N() {
 		return nil, binio.Errf("core: index has %d nodes but graph has %d", n, w.N())
@@ -97,14 +136,24 @@ func ReadIndex(r io.Reader, w rwr.Operator) (*TPA, error) {
 	if err := params.Validate(); err != nil {
 		return nil, binio.Errf("core: index params invalid: %v", err)
 	}
-	vec := sparse.NewVector(int(n))
-	d.F64s(vec)
-	if magic == indexMagic {
+	tp := &TPA{walk: w, cfg: cfg, params: params, prec: prec, preIters: int(preIters)}
+	if prec == Float32 {
+		// The float32 payload is the served state; the float64 master is
+		// its widening (the full-precision original is not in the file).
+		tp.stranger32 = sparse.NewVector32(int(n))
+		d.F32s(tp.stranger32)
+		tp.stranger = tp.stranger32.Widen(sparse.NewVector(int(n)))
+	} else {
+		tp.stranger = sparse.NewVector(int(n))
+		d.F64s(tp.stranger)
+	}
+	if magic != indexMagicV1 {
 		if err := d.Footer(); err != nil {
 			return nil, err
 		}
 	} else if err := d.Err(); err != nil {
 		return nil, err
 	}
-	return &TPA{walk: w, cfg: cfg, params: params, stranger: vec, preIters: int(preIters)}, nil
+	tp.applyPrecision()
+	return tp, nil
 }

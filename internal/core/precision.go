@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// Reduced-precision serving. The online phase is bandwidth-bound: S-1
+// gathers over the in-adjacency, each reading x[u] and 1/outdeg(u) per
+// in-edge. Storing the served index (the stranger vector) and the query
+// iterates as float32 halves that working set, which is worth more than the
+// lost mantissa — the approximation error is already 2(1-c)^S ≈ 0.9 at the
+// defaults, while float32 rounding contributes ~1e-7 per entry. The
+// accuracy suite pins this down with an explicit float32 tolerance on top
+// of the Theorem-2 bound.
+//
+// Preprocessing always runs in float64 and the float64 master state is kept
+// alongside: incremental reindexing (reindex.go) and deadline queries run
+// on it, and the float32 state is re-derived whenever the master changes.
+// Only the hot single/batch query path switches kernels, and only when the
+// operator natively supports float32 application (rwr.Operator32 — the
+// in-memory graph.Walk does, a DeltaWalk overlay or streaming operator does
+// not and falls back to float64 transparently).
+
+// Precision selects the storage precision of the served index and the
+// online-phase kernels.
+type Precision uint8
+
+const (
+	// Float64 serves with the full-precision kernels (default).
+	Float64 Precision = iota
+	// Float32 stores the served stranger vector and query iterates as
+	// float32 and runs the reduced-precision kernels where the operator
+	// supports them.
+	Float32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision maps the CLI/config spellings to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "64", "f64", "float64":
+		return Float64, nil
+	case "32", "f32", "float32":
+		return Float32, nil
+	}
+	return Float64, fmt.Errorf("core: unknown precision %q (want float64 or float32)", s)
+}
+
+// Precision returns the serving precision of the index.
+func (t *TPA) Precision() Precision { return t.prec }
+
+// SetPrecision switches the serving precision, deriving (or dropping) the
+// float32 state from the float64 master. It must be called before the TPA
+// is shared across goroutines — typically right after preprocessing or
+// loading — as it mutates the receiver.
+func (t *TPA) SetPrecision(p Precision) error {
+	if p != Float64 && p != Float32 {
+		return fmt.Errorf("core: unknown precision %d", p)
+	}
+	t.prec = p
+	t.applyPrecision()
+	return nil
+}
+
+// applyPrecision (re)derives the float32 serving state from the float64
+// master. Call after any change to t.stranger, t.walk or t.prec.
+func (t *TPA) applyPrecision() {
+	if t.prec != Float32 {
+		t.stranger32 = nil
+		t.walk32 = nil
+		return
+	}
+	if len(t.stranger32) != len(t.stranger) {
+		t.stranger32 = sparse.Round32(t.stranger, sparse.NewVector32(len(t.stranger)))
+	}
+	t.walk32, _ = t.walk.(rwr.Operator32)
+}
+
+// useF32 reports whether the hot query path should run the float32 kernels.
+func (t *TPA) useF32() bool { return t.prec == Float32 && t.walk32 != nil }
+
+// cpiInto32 is cpiInto over float32 storage: q must hold the seed
+// distribution and is consumed as the iterate, buf is propagation scratch,
+// r receives the accumulated scores (zeroed here). Norm checks accumulate
+// in float64 (see sparse.Vector32.L1).
+func cpiInto32(w rwr.Operator32, cfg rwr.Config, startIter, termIter int, q, buf, r sparse.Vector32) (iters int, converged bool) {
+	x := q.Scale(float32(cfg.C)) // x(0)
+	r.Zero()
+	if startIter == 0 {
+		r.Add(x)
+	}
+	limit := termIter
+	if limit < 0 {
+		limit = cfg.IterBound() + 8
+		if cfg.MaxIter > 0 {
+			limit = cfg.MaxIter
+		}
+	}
+	for i := 1; i <= limit; i++ {
+		w.MulT32(x, buf)
+		buf.Scale(float32(1 - cfg.C))
+		x, buf = buf, x
+		iters = i
+		if i >= startIter {
+			r.Add(x)
+		}
+		if x.L1() < cfg.Eps {
+			return iters, true
+		}
+	}
+	return iters, false
+}
+
+// queryInto32 is queryInto on the float32 kernels: the family head runs
+// entirely in float32 scratch and only the final combine writes the float64
+// result. Callers must have checked useF32.
+func (t *TPA) queryInto32(seeds []int, dst sparse.Vector, sc *queryScratch) {
+	sc.q32.Zero()
+	share := float32(1) / float32(len(seeds))
+	for _, s := range seeds {
+		sc.q32[s] += share
+	}
+	cpiInto32(t.walk32, t.cfg, 0, t.params.S-1, sc.q32, sc.buf32, sc.fam32)
+	famMass, neighMass, _ := PartMasses(t.cfg.C, t.params.S, t.params.T)
+	scale := 1.0
+	if famMass > 0 {
+		scale = 1 + neighMass/famMass
+	}
+	for i, f := range sc.fam32 {
+		dst[i] = float64(f)*scale + float64(t.stranger32[i])
+	}
+}

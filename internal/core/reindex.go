@@ -67,7 +67,12 @@ func (t *TPA) WithOperator(w rwr.Operator) (*TPA, error) {
 	if w.N() != t.walk.N() {
 		return nil, fmt.Errorf("core: operator has %d nodes but index has %d", w.N(), t.walk.N())
 	}
-	return &TPA{walk: w, cfg: t.cfg, params: t.params, stranger: t.stranger, preIters: t.preIters}, nil
+	nt := &TPA{walk: w, cfg: t.cfg, params: t.params, stranger: t.stranger,
+		prec: t.prec, stranger32: t.stranger32, preIters: t.preIters}
+	// Same stranger vector, new operator: the float32 copy is still valid
+	// but the float32 kernel binding must be re-resolved against w.
+	nt.applyPrecision()
+	return nt, nil
 }
 
 // Reindex rebuilds t's preprocessed state for the mutated operator w and
@@ -92,6 +97,8 @@ func Reindex(t *TPA, w rwr.Operator, workers int, maxResidual float64) (*TPA, Re
 		if err != nil {
 			return nil, stats, err
 		}
+		tp.prec = t.prec
+		tp.applyPrecision()
 		stats.CorrectionIters = tp.preIters
 		return tp, stats, nil
 	}
@@ -128,6 +135,8 @@ func Reindex(t *TPA, w rwr.Operator, workers int, maxResidual float64) (*TPA, Re
 		if err != nil {
 			return nil, stats, err
 		}
+		tp.prec = t.prec
+		tp.applyPrecision()
 		stats.CorrectionIters = tp.preIters
 		return tp, stats, nil
 	}
@@ -149,5 +158,9 @@ func Reindex(t *TPA, w rwr.Operator, workers int, maxResidual float64) (*TPA, Re
 		s2.Add(cur)
 		stats.CorrectionIters = k
 	}
-	return &TPA{walk: w, cfg: cfg, params: params, stranger: s2, preIters: t.preIters}, stats, nil
+	nt := &TPA{walk: w, cfg: cfg, params: params, stranger: s2, prec: t.prec, preIters: t.preIters}
+	// The stranger vector changed, so the float32 copy is re-derived from
+	// the corrected master (no stranger32 carried over).
+	nt.applyPrecision()
+	return nt, stats, nil
 }

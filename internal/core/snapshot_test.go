@@ -73,9 +73,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err := WriteSnapshot(&buf, tp); err != nil {
 		t.Fatal(err)
 	}
-	w2, tp2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	w2, tp2, perm, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if perm != nil {
+		t.Fatalf("natural-order snapshot round-tripped a permutation: %v", perm)
 	}
 	if w2.N() != w.N() || w2.Policy() != w.Policy() {
 		t.Fatalf("walk changed in round trip: n=%d policy=%v", w2.N(), w2.Policy())
@@ -111,9 +114,9 @@ func TestSnapshotCorruption(t *testing.T) {
 
 	check := func(t *testing.T, name string, data []byte) {
 		t.Helper()
-		gw, gt, err := ReadSnapshot(bytes.NewReader(data))
+		gw, gt, gp, err := ReadSnapshot(bytes.NewReader(data))
 		mustFailBadSnapshot(t, name, err)
-		if gw != nil || gt != nil {
+		if gw != nil || gt != nil || gp != nil {
 			t.Fatalf("%s: partial state returned alongside error", name)
 		}
 	}

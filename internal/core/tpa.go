@@ -43,7 +43,14 @@ type TPA struct {
 	cfg    rwr.Config
 	params Params
 	// stranger is the PageRank tail Σ_{i≥T} x'(i), shared by all seeds.
+	// It is the float64 master copy regardless of serving precision:
+	// reindexing and deadline queries always run on it.
 	stranger sparse.Vector
+	// prec is the serving precision; stranger32/walk32 are the derived
+	// float32 state, non-nil only under Float32 (see precision.go).
+	prec       Precision
+	stranger32 sparse.Vector32
+	walk32     rwr.Operator32
 	// preIters records how many CPI iterations preprocessing ran
 	// (for reporting).
 	preIters int
@@ -103,9 +110,17 @@ func (t *TPA) StrangerVector() sparse.Vector { return t.stranger }
 // phase executed.
 func (t *TPA) PreprocessIters() int { return t.preIters }
 
-// IndexBytes returns the accounted size of the preprocessed data: one
-// float64 per node. This is the quantity compared in Fig 1(a).
-func (t *TPA) IndexBytes() int64 { return int64(len(t.stranger)) * 8 }
+// IndexBytes returns the accounted size of the preprocessed data — the
+// quantity compared in Fig 1(a) and what WriteIndex ships per node: one
+// float64 per node, or one float32 under Float32 precision. (A Float32
+// engine additionally keeps the float64 master in memory for reindexing;
+// that copy is preprocessing state, not index.)
+func (t *TPA) IndexBytes() int64 {
+	if t.prec == Float32 {
+		return int64(len(t.stranger)) * 4
+	}
+	return int64(len(t.stranger)) * 8
+}
 
 // Query runs TPA's online phase (Algorithm 3) for the given seed node:
 // compute r_family with S-1 propagation steps of CPI, scale it by

@@ -116,9 +116,20 @@ func SBM(cfg SBMConfig) *graph.Graph {
 	k := cfg.Communities
 	size := n / k
 	b := graph.NewBuilderN(n).DropSelfLoops()
-	// Zipf sampler over positions within a community: preferring low
-	// in-community ranks yields skewed in-degrees.
-	zipf := rand.NewZipf(rng, 1.5, 4, uint64(size-1))
+	// Zipf samplers over positions within each community: preferring low
+	// in-community ranks yields skewed in-degrees. The sampler is built per
+	// community because the last one absorbs the n%k remainder and spans
+	// n−base ≥ size nodes — one sampler sized to the regular communities
+	// could never draw the remainder positions, leaving those nodes with no
+	// Zipf-targeted in-edges at all.
+	zipfs := make([]*rand.Zipf, k)
+	for c := 0; c < k; c++ {
+		limit := size
+		if c == k-1 {
+			limit = n - c*size
+		}
+		zipfs[c] = rand.NewZipf(rng, 1.5, 4, uint64(limit-1))
+	}
 	pick := func(comm int) int {
 		base := comm * size
 		limit := size
@@ -128,11 +139,7 @@ func SBM(cfg SBMConfig) *graph.Graph {
 		if cfg.Uniform {
 			return base + rng.Intn(limit)
 		}
-		pos := int(zipf.Uint64())
-		if pos >= limit {
-			pos = rng.Intn(limit)
-		}
-		return base + pos
+		return base + int(zipfs[comm].Uint64())
 	}
 	for u := 0; u < n; u++ {
 		comm := u / size

@@ -113,6 +113,42 @@ func TestSBMCommunityStructure(t *testing.T) {
 	}
 }
 
+// TestSBMSkewedTailCoverage pins the per-community Zipf sampler fix: with
+// n=70, k=4 the regular communities span 17 nodes but the last spans 19
+// (51..69). A single sampler sized to the regular span could never draw
+// positions 17-18, so nodes 68 and 69 got no Zipf-targeted in-edges at
+// all — with these densities they are reachable only through that sampler.
+func TestSBMSkewedTailCoverage(t *testing.T) {
+	g := SBM(SBMConfig{Nodes: 70, Communities: 4, AvgOutDeg: 30, PIn: 0.7, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every position in the oversized last community must be a possible
+	// target; with ~2000 edges the two remainder nodes get hit.
+	var tail int64
+	for u := 68; u <= 69; u++ {
+		tail += int64(g.InDegree(u))
+	}
+	if tail == 0 {
+		t.Fatal("remainder nodes 68-69 of the last community received no in-edges: Zipf sampler not covering the community's full span")
+	}
+	// The skew itself must survive the fix: the first position of each
+	// community is the Zipf head and must out-collect its community tail.
+	size := 17
+	for c := 0; c < 4; c++ {
+		base := c * size
+		limit := size
+		if c == 3 {
+			limit = 70 - base
+		}
+		head := g.InDegree(base)
+		last := g.InDegree(base + limit - 1)
+		if head <= last {
+			t.Errorf("community %d: head in-degree %d not above tail %d — skew lost", c, head, last)
+		}
+	}
+}
+
 func TestSBMBadConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

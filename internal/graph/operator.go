@@ -17,6 +17,10 @@ type Walk struct {
 	policy DanglingPolicy
 	// invdeg[u] = 1/outdeg(u), 0 for dangling nodes (policy handles them).
 	invdeg []float64
+	// invdeg32 mirrors invdeg in float32 for the reduced-precision kernels
+	// (see kernel32.go); kept alongside so either precision can gather
+	// without a conversion pass.
+	invdeg32 []float32
 	// dangling lists the nodes with no out-edges in ascending order, so
 	// block-parallel application can compute the dangling mass cheaply.
 	dangling []int32
@@ -24,10 +28,13 @@ type Walk struct {
 
 // NewWalk wraps g with the given dangling policy.
 func NewWalk(g *Graph, policy DanglingPolicy) *Walk {
-	w := &Walk{g: g, policy: policy, invdeg: make([]float64, g.NumNodes())}
-	for u := 0; u < g.NumNodes(); u++ {
+	n := g.NumNodes()
+	w := &Walk{g: g, policy: policy,
+		invdeg: make([]float64, n), invdeg32: make([]float32, n)}
+	for u := 0; u < n; u++ {
 		if d := g.OutDegree(u); d > 0 {
 			w.invdeg[u] = 1 / float64(d)
+			w.invdeg32[u] = float32(w.invdeg[u])
 		} else {
 			w.dangling = append(w.dangling, int32(u))
 		}

@@ -87,7 +87,10 @@ func (h *Hist) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
 
 // Quantile returns the smallest bucket upper bound below which at least
 // q·Count observations fall, for q in [0,1]. The answer overstates the true
-// quantile by at most one bucket width (≤ 3.2%).
+// quantile by at most one bucket width (≤ 3.2%), and never exceeds Max():
+// without that clamp a tail quantile could report a latency larger than any
+// request actually took (the covering bucket's bound, up to 3.2% above the
+// true worst case), which reads as an SLO violation that never happened.
 func (h *Hist) Quantile(q float64) time.Duration {
 	n := h.count.Load()
 	if n == 0 {
@@ -97,14 +100,18 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	if target < 1 {
 		target = 1
 	}
+	max := h.Max()
 	var cum int64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
 		if cum >= target {
-			return histUpper(i)
+			if u := histUpper(i); u < max {
+				return u
+			}
+			return max
 		}
 	}
-	return h.Max()
+	return max
 }
 
 // Quantiles is the fixed set of latency percentiles a Report carries, in

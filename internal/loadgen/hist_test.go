@@ -112,3 +112,93 @@ func TestHistEmpty(t *testing.T) {
 		t.Error("empty histogram reports non-zero summary")
 	}
 }
+
+// TestHistQuantileClampedToMax pins the clamp: a tail quantile must never
+// report a latency above the largest recorded observation, even though the
+// covering bucket's upper bound lies up to one sub-bucket (3.2%) above it.
+func TestHistQuantileClampedToMax(t *testing.T) {
+	var h Hist
+	// 1000µs lands in a bucket whose upper bound is 1023µs; before the
+	// clamp Quantile(1.0) reported that bound.
+	h.Record(1000 * time.Microsecond)
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if got := h.Quantile(q); got != 1000*time.Microsecond {
+			t.Errorf("Quantile(%v) = %v, want exactly Max() = 1ms", q, got)
+		}
+	}
+	// With a spread the clamp must only bite at the top.
+	h.Record(10 * time.Microsecond)
+	h.Record(20 * time.Microsecond)
+	if got := h.Quantile(0.33); got != 10*time.Microsecond {
+		t.Errorf("Quantile(0.33) = %v, want 10µs", got)
+	}
+	if got := h.Quantile(1.0); got != 1000*time.Microsecond {
+		t.Errorf("Quantile(1.0) = %v, want Max() = 1ms", got)
+	}
+}
+
+// checkHistRoundTrip asserts the bucket-mapping round-trip properties for
+// one whole-µs value: the value is never understated (d ≤ upper(index(d)))
+// and never overstated by more than one sub-bucket — ≤ 1/32 ≈ 3.2% relative
+// beyond the linear first major, where the histogram is exact.
+func checkHistRoundTrip(t *testing.T, us int64) {
+	d := time.Duration(us) * time.Microsecond
+	i := histIndex(d)
+	if i < 0 || i >= histBuckets {
+		t.Fatalf("histIndex(%dµs) = %d outside [0,%d)", us, i, histBuckets)
+	}
+	upper := histUpper(i)
+	if upper < d {
+		t.Fatalf("histUpper(histIndex(%dµs)) = %v understates the value", us, upper)
+	}
+	if us < histSub {
+		if upper != d {
+			t.Fatalf("first major must be exact: %dµs → %v", us, upper)
+		}
+		return
+	}
+	if over := upper - d; float64(over) > float64(d)/32 {
+		t.Fatalf("%dµs → bucket %d upper %v: overstated by %v (> 1/32 ≈ 3.2%%)", us, i, upper, over)
+	}
+}
+
+// TestHistRoundTripProperty sweeps the bucket mapping across the whole
+// recordable domain [0, 2^31µs): exhaustively over the low range where
+// every bucket transition happens densely, and at every major- and
+// sub-bucket boundary (±1) up to the ceiling, where transitions are sparse
+// and off-by-one errors in the bit arithmetic would hide between sampled
+// points. Short mode trims the exhaustive range, not the boundary sweep.
+func TestHistRoundTripProperty(t *testing.T) {
+	const ceiling = int64(1) << 31 // histogram domain is [0, 2^31µs)
+	exhaustive := int64(1) << 26   // 67M values; covers 21 majors densely
+	if testing.Short() {
+		exhaustive = 1 << 20
+	}
+	for us := int64(0); us <= exhaustive; us++ {
+		checkHistRoundTrip(t, us)
+	}
+	// Every major boundary 32µs, 64µs, …, 2^30µs and every sub-bucket edge
+	// within each major, each probed at the edge and one µs to either side.
+	for major := histSubBits; major <= 31; major++ {
+		width := int64(1) << (major - histSubBits)
+		for sub := int64(0); sub <= histSub; sub++ {
+			edge := int64(1)<<major + sub*width
+			for _, us := range []int64{edge - 1, edge, edge + 1} {
+				if us >= 0 && us < ceiling {
+					checkHistRoundTrip(t, us)
+				}
+			}
+		}
+	}
+	// At and beyond the ceiling values clamp into the top bucket — recorded
+	// and counted, with the bucket bound as their (understated) upper.
+	top := histUpper(histBuckets - 1)
+	for _, us := range []int64{ceiling, ceiling + 1, ceiling * 1000} {
+		if i := histIndex(time.Duration(us) * time.Microsecond); i != histBuckets-1 {
+			t.Fatalf("histIndex(%dµs) = %d, want top bucket %d", us, i, histBuckets-1)
+		}
+	}
+	if top >= time.Duration(ceiling)*time.Microsecond {
+		t.Fatalf("top bucket bound %v should sit below the %dµs ceiling", top, ceiling)
+	}
+}

@@ -103,6 +103,10 @@ func (m *TPAMethod) TopK(seed, k int) ([]sparse.Entry, QueryMeta, error) {
 
 func (m *TPAMethod) Stats() Stats { return m.stats }
 
+// ConcurrentQueries declares the adapter concurrency-safe: a preprocessed
+// core.TPA is read-only at query time (scratch comes from a sync.Pool).
+func (m *TPAMethod) ConcurrentQueries() bool { return true }
+
 // ---------------------------------------------------------------- Exact
 
 // ExactMethod adapts cumulative power iteration run to convergence — the
@@ -143,6 +147,10 @@ func (m *ExactMethod) TopK(seed, k int) ([]sparse.Entry, QueryMeta, error) {
 }
 
 func (m *ExactMethod) Stats() Stats { return m.stats }
+
+// ConcurrentQueries declares the adapter concurrency-safe: every query is
+// a stateless CPI run allocating its own vectors.
+func (m *ExactMethod) ConcurrentQueries() bool { return true }
 
 // ---------------------------------------------------------------- MC
 

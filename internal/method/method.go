@@ -102,6 +102,22 @@ type Method interface {
 	Stats() Stats
 }
 
+// Concurrent is the optional capability a Method implements to declare
+// that, after a successful Preprocess, its Query/TopK calls are safe for
+// concurrent use from multiple goroutines. Methods owning PRNGs or shared
+// scratch must not implement it (or must return false); the HTTP server
+// serializes those behind a per-instance mutex and routes concurrency-safe
+// methods around it.
+type Concurrent interface {
+	ConcurrentQueries() bool
+}
+
+// IsConcurrent reports whether m declares concurrency-safe queries.
+func IsConcurrent(m Method) bool {
+	c, ok := m.(Concurrent)
+	return ok && c.ConcurrentQueries()
+}
+
 // topKViaQuery derives TopK from a full Query — the default for adapters
 // whose engine has no native top-k path.
 func topKViaQuery(m Method, seed, k int) ([]sparse.Entry, QueryMeta, error) {

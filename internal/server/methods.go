@@ -32,8 +32,11 @@ type MethodProvider interface {
 }
 
 // methodEntry is one lazily built alternative method on one serving state.
-// Method adapters are not safe for concurrent queries (PRNGs, scratch), so
-// mu serializes them; distinct methods run concurrently.
+// Most method adapters are not safe for concurrent queries (PRNGs,
+// scratch), so mu serializes them; distinct methods run concurrently, and
+// adapters that declare the method.Concurrent capability (tpa, exact)
+// bypass the mutex entirely so parallel requests to one graph+method are
+// never serialized.
 type methodEntry struct {
 	name  string
 	build sync.Once
@@ -44,8 +47,11 @@ type methodEntry struct {
 	m       method.Method
 	buildMS float64
 	err     error
-	mu      sync.Mutex
-	queries atomic.Int64
+	// concurrent caches method.IsConcurrent(m); it is written inside
+	// build.Do, so every query path observes it after e.get.
+	concurrent bool
+	mu         sync.Mutex
+	queries    atomic.Int64
 }
 
 // methodState is the per-engineState cache of alternative methods.
@@ -90,31 +96,40 @@ func (e *methodEntry) get(mp MethodProvider) (method.Method, error) {
 		start := time.Now()
 		e.m, e.err = mp.NewMethod(e.name)
 		e.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if e.err == nil {
+			e.concurrent = method.IsConcurrent(e.m)
+		}
 		e.done.Store(true)
 	})
 	return e.m, e.err
 }
 
-// query runs one serialized full-vector query through the entry.
+// query runs one full-vector query through the entry, serialized unless the
+// method declares concurrency-safe queries.
 func (e *methodEntry) query(mp MethodProvider, seed int) (sparse.Vector, method.QueryMeta, error) {
 	m, err := e.get(mp)
 	if err != nil {
 		return nil, method.QueryMeta{}, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if !e.concurrent {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
 	e.queries.Add(1)
 	return m.Query(seed)
 }
 
-// topK runs one serialized top-k query through the entry.
+// topK runs one top-k query through the entry, serialized unless the method
+// declares concurrency-safe queries.
 func (e *methodEntry) topK(mp MethodProvider, seed, k int) ([]sparse.Entry, method.QueryMeta, error) {
 	m, err := e.get(mp)
 	if err != nil {
 		return nil, method.QueryMeta{}, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if !e.concurrent {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
 	e.queries.Add(1)
 	return m.TopK(seed, k)
 }

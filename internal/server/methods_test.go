@@ -6,10 +6,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tpa"
+	"tpa/internal/graph"
 	"tpa/internal/method"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
 )
 
 // getHeader is get with one request header set.
@@ -217,6 +222,77 @@ func TestMethodIntrospection(t *testing.T) {
 	}
 	if !found {
 		t.Error("tpa_method_queries_total{method=fora} missing from /metrics")
+	}
+}
+
+// barrierMethod is a registry-driven test double that declares concurrent
+// queries and then proves the claim: every TopK call blocks until `want`
+// calls are inside it simultaneously. If the server still serialized
+// concurrency-safe methods behind the per-entry mutex, at most one call
+// could ever be inside and the barrier would time out.
+type barrierMethod struct {
+	n       int
+	want    int32
+	inside  atomic.Int32
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *barrierMethod) Name() string                                   { return "testbarrier" }
+func (b *barrierMethod) Preprocess(w *graph.Walk, cfg rwr.Config) error { b.n = w.N(); return nil }
+func (b *barrierMethod) Stats() method.Stats                            { return method.Stats{Bound: 1} }
+func (b *barrierMethod) ConcurrentQueries() bool                        { return true }
+func (b *barrierMethod) Query(seed int) (sparse.Vector, method.QueryMeta, error) {
+	return nil, method.QueryMeta{}, fmt.Errorf("barrier method serves TopK only")
+}
+
+func (b *barrierMethod) TopK(seed, k int) ([]sparse.Entry, method.QueryMeta, error) {
+	if b.inside.Add(1) >= b.want {
+		b.once.Do(func() { close(b.release) })
+	}
+	defer b.inside.Add(-1)
+	select {
+	case <-b.release:
+		return []sparse.Entry{{Index: seed, Score: 1}}, method.QueryMeta{}, nil
+	case <-time.After(10 * time.Second):
+		return nil, method.QueryMeta{}, fmt.Errorf(
+			"only %d of %d queries ran concurrently: concurrency-safe method is being serialized",
+			b.inside.Load(), b.want)
+	}
+}
+
+var barrier = &barrierMethod{want: 4, release: make(chan struct{})}
+
+var registerBarrierOnce sync.Once
+
+// TestMethodConcurrentNotSerialized pins the mutex bypass for methods
+// declaring the method.Concurrent capability: `want` parallel requests to
+// one graph+method must all be in flight at once. Registration goes through
+// the real registry so the whole path — methodFor, lazy build, capability
+// detection in get(), lock routing in topK — is the production one.
+func TestMethodConcurrentNotSerialized(t *testing.T) {
+	registerBarrierOnce.Do(func() {
+		method.Register("testbarrier", func() method.Method { return barrier })
+	})
+	h := testHandler(t)
+	var wg sync.WaitGroup
+	codes := make([]int, barrier.want)
+	bodies := make([]string, barrier.want)
+	for i := 0; i < int(barrier.want); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/topk?seed=%d&k=1&method=testbarrier", i), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			codes[i], bodies[i] = rec.Code, rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("parallel request %d: %d (%s)", i, code, bodies[i])
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+package sparse
+
+import "math"
+
+// Vector32 is a dense float32 vector: the storage type of the
+// reduced-precision online phase. Halving the element size roughly doubles
+// how much of a score vector fits in each cache level, which is what the
+// float32 query path is for; accumulations that feed accuracy decisions
+// (norms) still run in float64.
+type Vector32 []float32
+
+// NewVector32 returns a zero vector of length n.
+func NewVector32(n int) Vector32 { return make(Vector32, n) }
+
+// Zero sets all entries of v to 0 in place.
+func (v Vector32) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Scale multiplies every entry of v by a in place and returns v.
+func (v Vector32) Scale(a float32) Vector32 {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// Add computes v += w in place and returns v. Lengths must match.
+func (v Vector32) Add(w Vector32) Vector32 {
+	for i, x := range w {
+		v[i] += x
+	}
+	return v
+}
+
+// L1 returns the L1 norm of v, accumulated in float64 so convergence
+// checks keep full precision even over long vectors.
+func (v Vector32) L1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(float64(x))
+	}
+	return s
+}
+
+// Round32 fills dst with v rounded to float32 and returns dst. Lengths
+// must match.
+func Round32(v Vector, dst Vector32) Vector32 {
+	for i, x := range v {
+		dst[i] = float32(x)
+	}
+	return dst
+}
+
+// Widen fills dst with v widened to float64 and returns dst. Lengths must
+// match.
+func (v Vector32) Widen(dst Vector) Vector {
+	for i, x := range v {
+		dst[i] = float64(x)
+	}
+	return dst
+}

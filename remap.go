@@ -1,0 +1,153 @@
+package tpa
+
+import (
+	"fmt"
+	"sort"
+
+	"tpa/internal/graph"
+	"tpa/internal/method"
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// ID remapping for reordered engines. A build-time ordering (Options.Order)
+// permutes the CSR for cache locality, but node ids are the public contract
+// of every query API, so the permutation must never leak: seeds are mapped
+// external→internal on the way in, and score vectors / top-k entries
+// internal→external on the way out. This file is the only place the two id
+// spaces meet; everything below the Engine boundary runs purely internal.
+//
+// Conventions (matching graph.Permute): perm[internal] = external,
+// inv[external] = internal. Both are nil on natural-order engines, and
+// every helper is a no-op then.
+
+// toInternal maps an external seed id to the internal id. Out-of-range
+// seeds pass through unmapped so the core layer reports its usual typed
+// rwr.ErrSeedOutOfRange.
+func (e *Engine) toInternal(seed int) int {
+	if e.inv == nil || seed < 0 || seed >= len(e.inv) {
+		return seed
+	}
+	return int(e.inv[seed])
+}
+
+// toInternalSeeds maps a seed slice external→internal, returning the input
+// unchanged on natural-order engines.
+func (e *Engine) toInternalSeeds(seeds []int) []int {
+	if e.inv == nil {
+		return seeds
+	}
+	out := make([]int, len(seeds))
+	for i, s := range seeds {
+		out[i] = e.toInternal(s)
+	}
+	return out
+}
+
+// toExternalVec scatters an internal score vector into external id order.
+// On natural-order engines the vector is returned as-is (no copy).
+func (e *Engine) toExternalVec(r sparse.Vector) []float64 {
+	if e.perm == nil {
+		return r
+	}
+	out := make([]float64, len(r))
+	for i, v := range r {
+		out[e.perm[i]] = v
+	}
+	return out
+}
+
+// toExternalEntries rewrites top-k entry indices internal→external in
+// place and restores the canonical order (score descending, external index
+// ascending on ties — the TopKOf contract, which the internal tie-break no
+// longer guarantees after remapping).
+func (e *Engine) toExternalEntries(es []Entry) []Entry {
+	if e.perm == nil {
+		return es
+	}
+	for i := range es {
+		es[i].Index = int(e.perm[es[i].Index])
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Score != es[b].Score {
+			return es[a].Score > es[b].Score
+		}
+		return es[a].Index < es[b].Index
+	})
+	return es
+}
+
+// toInternalEdges maps edge endpoints external→internal, validating ranges
+// up front (inv is only defined on [0, n)); a bad id fails with ErrBadEdge
+// exactly like the unordered path.
+func (e *Engine) toInternalEdges(edges [][2]int) ([][2]int, error) {
+	if e.inv == nil || len(edges) == 0 {
+		return edges, nil
+	}
+	n := len(e.inv)
+	out := make([][2]int, len(edges))
+	for i, ed := range edges {
+		u, v := ed[0], ed[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside [0,%d); growing the node set requires a rebuild: %w",
+				u, v, n, graph.ErrBadEdge)
+		}
+		out[i] = [2]int{int(e.inv[u]), int(e.inv[v])}
+	}
+	return out, nil
+}
+
+// remapMethod decorates an alternative method built over the reordered
+// graph so its answers speak external ids, same as the native engine.
+type remapMethod struct {
+	m         method.Method
+	perm, inv []int32
+}
+
+func (r *remapMethod) Name() string { return r.m.Name() }
+
+func (r *remapMethod) Preprocess(w *graph.Walk, cfg rwr.Config) error {
+	return r.m.Preprocess(w, cfg)
+}
+
+func (r *remapMethod) Stats() method.Stats { return r.m.Stats() }
+
+// ConcurrentQueries forwards the inner method's concurrency capability
+// (see method.IsConcurrent): the decorator adds only per-call local state.
+func (r *remapMethod) ConcurrentQueries() bool { return method.IsConcurrent(r.m) }
+
+func (r *remapMethod) mapSeed(seed int) int {
+	if seed < 0 || seed >= len(r.inv) {
+		return seed // out of range: let the method report its typed error
+	}
+	return int(r.inv[seed])
+}
+
+func (r *remapMethod) Query(seed int) (sparse.Vector, method.QueryMeta, error) {
+	v, meta, err := r.m.Query(r.mapSeed(seed))
+	if err != nil {
+		return nil, meta, err
+	}
+	out := make(sparse.Vector, len(v))
+	for i, x := range v {
+		out[r.perm[i]] = x
+	}
+	return out, meta, nil
+}
+
+func (r *remapMethod) TopK(seed, k int) ([]sparse.Entry, method.QueryMeta, error) {
+	top, meta, err := r.m.TopK(r.mapSeed(seed), k)
+	if err != nil {
+		return nil, meta, err
+	}
+	for i := range top {
+		top[i].Index = int(r.perm[top[i].Index])
+	}
+	sort.Slice(top, func(a, b int) bool {
+		if top[a].Score != top[b].Score {
+			return top[a].Score > top[b].Score
+		}
+		return top[a].Index < top[b].Index
+	})
+	return top, meta, nil
+}

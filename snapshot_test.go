@@ -48,6 +48,86 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotPermutationRoundTrip is the correctness crux of build-time
+// reordering: external node ids must never leak the permutation. A
+// reordered engine must answer (element-for-element, in external id space)
+// like the natural-order engine built from the same graph, and a snapshot
+// save/load must reproduce the reordered engine bit-exactly — the TPAS v2
+// container carries the permutation, so a loader that dropped or misapplied
+// it would scatter every score to the wrong node.
+func TestSnapshotPermutationRoundTrip(t *testing.T) {
+	g := RandomSBMGraph(400, 4, 6, 0.9, 21)
+	nat, err := New(g, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		order string
+		prec  Precision
+		tile  int
+		tol   float64 // vs the natural engine, per element
+	}{
+		// Reordering only changes float summation order in f64.
+		{"degree-f64", "degree", Float64, 0, 1e-12},
+		{"bfs-f64-tiled", "bfs", Float64, -1, 1e-12},
+		// float32 adds rounding of the stored index and the propagation.
+		{"hubspoke-f32", "hubspoke", Float32, 0, 2e-4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := Defaults()
+			o.Order, o.Precision, o.Tile = tc.order, tc.prec, tc.tile
+			eng, err := New(g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Permutation() == nil || eng.Order() != tc.order {
+				t.Fatalf("engine lost its ordering: perm=%v order=%q", eng.Permutation() != nil, eng.Order())
+			}
+			path := filepath.Join(t.TempDir(), "g.tpas")
+			if err := eng.SaveSnapshotFile(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadSnapshotFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Permutation() == nil {
+				t.Fatal("snapshot dropped the permutation")
+			}
+			if loaded.Precision() != tc.prec {
+				t.Fatalf("snapshot precision %v, want %v", loaded.Precision(), tc.prec)
+			}
+			for _, seed := range []int{0, 57, 201, 399} {
+				want, err := nat.Query(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Query(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reloaded, err := loaded.Query(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					// A permutation leak misroutes whole scores (O(1e-2)
+					// errors); summation reorder and f32 rounding stay
+					// below tol. Element-wise comparison pins the ids.
+					if d := got[i] - want[i]; d > tc.tol || d < -tc.tol {
+						t.Fatalf("seed %d node %d: reordered %g vs natural %g (Δ %g > %g)",
+							seed, i, got[i], want[i], d, tc.tol)
+					}
+					if reloaded[i] != got[i] {
+						t.Fatalf("seed %d node %d: score changed across snapshot round trip", seed, i)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestLoadSnapshotRejectsCorruption(t *testing.T) {
 	g := RandomSBMGraph(100, 2, 4, 0.9, 12)
 	eng, err := New(g, Defaults())

@@ -34,6 +34,7 @@ import (
 	"tpa/internal/gen"
 	"tpa/internal/graph"
 	"tpa/internal/method"
+	"tpa/internal/reorder"
 	"tpa/internal/rwr"
 	"tpa/internal/sparse"
 	"tpa/internal/stream"
@@ -115,6 +116,48 @@ type Options struct {
 	// negative forces a full rebuild on every batch (useful for
 	// benchmarking the incremental path against it).
 	MaxResidual float64
+	// Order selects the build-time node ordering: "natural" (or empty, the
+	// default), "degree", "bfs" or "hubspoke". Non-natural orderings permute
+	// the CSR for cache locality before preprocessing; node ids stay the
+	// caller's — the engine remaps seeds and results at the API boundary, so
+	// answers are identical to a natural-order engine up to float summation
+	// order. Requires an in-memory graph (NewFromEdgeFile rejects it).
+	Order string
+	// Precision selects the storage precision of the CPI index: Float64
+	// (the default) or Float32, which halves the index and runs the online
+	// propagation in float32 (the float64 preprocessing master is kept for
+	// reindexing, so mutation accuracy is unaffected). The Theorem-2 bound
+	// still holds up to float32 rounding (~1e-4 L1 at default parameters).
+	Precision Precision
+	// Tile enables the cache-tiled gather kernel with the given source-tile
+	// width in nodes: 0 disables tiling (the default), negative selects
+	// graph.DefaultTile (32Ki nodes ≈ 512 KiB window). Worthwhile on graphs
+	// whose vectors outgrow L2, especially combined with Order.
+	Tile int
+}
+
+// Precision is the storage precision of the CPI index (see
+// Options.Precision).
+type Precision = core.Precision
+
+// Index precision variants.
+const (
+	Float64 = core.Float64
+	Float32 = core.Float32
+)
+
+// ParsePrecision parses a -precision flag value: "", "64", "f64", "float64"
+// → Float64; "32", "f32", "float32" → Float32.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// Orders lists the recognized Options.Order values.
+func Orders() []string {
+	os := reorder.Orders()
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = string(o)
+	}
+	return out
 }
 
 // Defaults returns the paper's standard configuration: c = 0.15, ε = 1e-9,
@@ -149,6 +192,72 @@ type Engine struct {
 	// Options (snapshot- and index-loaded engines use the defaults).
 	compactAfter float64
 	maxResidual  float64
+	// perm/inv are the build-time ordering maps (perm[internal] = external,
+	// inv[external] = internal), both nil on natural-order engines. See
+	// remap.go: they are applied only at this API boundary.
+	perm, inv []int32
+	// order is the Options.Order the engine was built with ("" for
+	// natural-order and snapshot-loaded engines).
+	order string
+	// tile is the Options.Tile in effect (propagated through ApplyEdges and
+	// Compact so mutated engines keep the kernel configuration).
+	tile int
+}
+
+// Order returns the build-time node ordering the engine was constructed
+// with ("degree", "bfs", ...). Empty means natural order — except for
+// reordered engines loaded from a snapshot, which report "" with a non-nil
+// Permutation (the snapshot stores the permutation, not the heuristic that
+// produced it).
+func (e *Engine) Order() string { return e.order }
+
+// Permutation returns a copy of the build-time ordering map
+// perm[internal] = external, or nil for natural-order engines. All public
+// APIs already speak external ids; this is for introspection and tests.
+func (e *Engine) Permutation() []int32 {
+	if e.perm == nil {
+		return nil
+	}
+	out := make([]int32, len(e.perm))
+	copy(out, e.perm)
+	return out
+}
+
+// Precision returns the storage precision of the engine's index.
+func (e *Engine) Precision() Precision { return e.tpa.Precision() }
+
+// applyOrdering resolves Options.Order against g: it returns the graph the
+// engine should preprocess (g itself for natural order), the
+// perm[internal]=external / inv[external]=internal maps (nil for natural),
+// and the canonical ordering name.
+func applyOrdering(g *Graph, order string) (*Graph, []int32, []int32, string, error) {
+	ord, err := reorder.ParseOrder(order)
+	if err != nil {
+		return nil, nil, nil, "", fmt.Errorf("tpa: %w", err)
+	}
+	perm, err := reorder.ComputeOrdering(g, ord)
+	if err != nil {
+		return nil, nil, nil, "", fmt.Errorf("tpa: ordering: %w", err)
+	}
+	if perm == nil {
+		return g, nil, nil, string(ord), nil
+	}
+	pg, err := graph.Permute(g, perm)
+	if err != nil {
+		return nil, nil, nil, "", fmt.Errorf("tpa: ordering: %w", err)
+	}
+	return pg, perm, graph.InvertPermutation(perm), string(ord), nil
+}
+
+// tiledOp returns the operator the core layer should drive: w itself, or a
+// cache-tiled view of it when tile requests one (see Options.Tile). The
+// engine's walk field always stays the base walk — snapshotting and method
+// building need the concrete in-memory operator.
+func tiledOp(w *graph.Walk, tile int) rwr.Operator {
+	if tile == 0 {
+		return w
+	}
+	return w.Tiled(tile)
 }
 
 // applyMutationOpts resolves the dynamic-update thresholds from o.
@@ -169,12 +278,20 @@ func (e *Engine) applyMutationOpts(o Options) {
 // QueryBatch providing cross-query parallelism.
 func New(g *Graph, o Options) (*Engine, error) {
 	cfg, params := o.split()
-	w := graph.NewWalk(g, graph.DanglingSelfLoop)
-	tp, err := core.PreprocessParallel(w, cfg, params, o.Workers)
+	pg, perm, inv, order, err := applyOrdering(g, o.Order)
+	if err != nil {
+		return nil, err
+	}
+	w := graph.NewWalk(pg, graph.DanglingSelfLoop)
+	tp, err := core.PreprocessParallel(tiledOp(w, o.Tile), cfg, params, o.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	e := &Engine{tpa: tp, walk: w, workers: o.Workers}
+	if err := tp.SetPrecision(o.Precision); err != nil {
+		return nil, fmt.Errorf("tpa: %w", err)
+	}
+	e := &Engine{tpa: tp, walk: w, workers: o.Workers,
+		perm: perm, inv: inv, order: order, tile: o.Tile}
 	e.applyMutationOpts(o)
 	return e, nil
 }
@@ -184,16 +301,35 @@ func New(g *Graph, o Options) (*Engine, error) {
 // 2(1-c)^S; pass 0 for the default 0.9.
 func AutoTune(g *Graph, o Options, maxBound float64, sampleSeeds []int) (*Engine, error) {
 	cfg, _ := o.split()
-	w := graph.NewWalk(g, graph.DanglingSelfLoop)
+	pg, perm, inv, order, err := applyOrdering(g, o.Order)
+	if err != nil {
+		return nil, err
+	}
+	if inv != nil && len(sampleSeeds) > 0 {
+		// Sample seeds are external ids like every other API input.
+		mapped := make([]int, len(sampleSeeds))
+		for i, s := range sampleSeeds {
+			if s >= 0 && s < len(inv) {
+				s = int(inv[s])
+			}
+			mapped[i] = s
+		}
+		sampleSeeds = mapped
+	}
+	w := graph.NewWalk(pg, graph.DanglingSelfLoop)
 	params, err := core.SelectParams(w, cfg, maxBound, sampleSeeds)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: tuning: %w", err)
 	}
-	tp, err := core.PreprocessParallel(w, cfg, params, o.Workers)
+	tp, err := core.PreprocessParallel(tiledOp(w, o.Tile), cfg, params, o.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
 	}
-	e := &Engine{tpa: tp, walk: w, workers: o.Workers}
+	if err := tp.SetPrecision(o.Precision); err != nil {
+		return nil, fmt.Errorf("tpa: %w", err)
+	}
+	e := &Engine{tpa: tp, walk: w, workers: o.Workers,
+		perm: perm, inv: inv, order: order, tile: o.Tile}
 	e.applyMutationOpts(o)
 	return e, nil
 }
@@ -201,22 +337,22 @@ func AutoTune(g *Graph, o Options, maxBound float64, sampleSeeds []int) (*Engine
 // Query returns the approximate RWR score vector for the seed node
 // (length = number of nodes, sums to ≈1).
 func (e *Engine) Query(seed int) ([]float64, error) {
-	r, err := e.tpa.Query(seed)
+	r, err := e.tpa.Query(e.toInternal(seed))
 	if err != nil {
 		return nil, err
 	}
-	return r, nil
+	return e.toExternalVec(r), nil
 }
 
 // QuerySet returns approximate personalized PageRank for a set of seed
 // nodes (the walk restarts uniformly over the set) — e.g. a user's whole
 // reading history rather than a single item.
 func (e *Engine) QuerySet(seeds []int) ([]float64, error) {
-	r, err := e.tpa.QuerySet(seeds)
+	r, err := e.tpa.QuerySet(e.toInternalSeeds(seeds))
 	if err != nil {
 		return nil, err
 	}
-	return r, nil
+	return e.toExternalVec(r), nil
 }
 
 // QueryBatch answers one query per seed, fanned out over a pool of
@@ -227,13 +363,30 @@ func (e *Engine) QuerySet(seeds []int) ([]float64, error) {
 // Streaming engines (NewFromEdgeFile) run the batch serially: the disk
 // operator has one file cursor.
 func (e *Engine) QueryBatch(seeds []int, parallelism int) ([][]float64, error) {
-	rs, err := e.tpa.QueryBatch(seeds, e.batchWorkers(parallelism))
+	if e.perm == nil {
+		rs, err := e.tpa.QueryBatch(seeds, e.batchWorkers(parallelism))
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r
+		}
+		return out, nil
+	}
+	// Reordered engines scatter each answer straight from the pooled
+	// internal scratch into the returned external-order vector, so the
+	// permutation costs no extra allocation per query.
+	out := make([][]float64, len(seeds))
+	err := e.tpa.QueryBatchEach(e.toInternalSeeds(seeds), e.batchWorkers(parallelism), func(i int, r sparse.Vector) {
+		dst := make([]float64, len(r))
+		for j, v := range r {
+			dst[e.perm[j]] = v
+		}
+		out[i] = dst
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([][]float64, len(rs))
-	for i, r := range rs {
-		out[i] = r
 	}
 	return out, nil
 }
@@ -243,7 +396,14 @@ func (e *Engine) QueryBatch(seeds []int, parallelism int) ([][]float64, error) {
 // vectors never leave the scratch pool. This is the call production batch
 // endpoints should use.
 func (e *Engine) TopKBatch(seeds []int, k, parallelism int) ([][]Entry, error) {
-	return e.tpa.TopKBatch(seeds, k, e.batchWorkers(parallelism))
+	tops, err := e.tpa.TopKBatch(e.toInternalSeeds(seeds), k, e.batchWorkers(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	for i := range tops {
+		tops[i] = e.toExternalEntries(tops[i])
+	}
+	return tops, nil
 }
 
 func (e *Engine) batchWorkers(parallelism int) int {
@@ -257,7 +417,13 @@ func (e *Engine) batchWorkers(parallelism int) int {
 }
 
 // TopK returns the k nodes most relevant to the seed, highest score first.
-func (e *Engine) TopK(seed, k int) ([]Entry, error) { return e.tpa.TopK(seed, k) }
+func (e *Engine) TopK(seed, k int) ([]Entry, error) {
+	top, err := e.tpa.TopK(e.toInternal(seed), k)
+	if err != nil {
+		return nil, err
+	}
+	return e.toExternalEntries(top), nil
+}
 
 // NewMethod builds a named alternative engine (see the internal/method
 // registry: "fora", "bear", "mc", "exact", ...) preprocessed over this
@@ -270,8 +436,9 @@ func (e *Engine) TopK(seed, k int) ([]Entry, error) { return e.tpa.TopK(seed, k)
 // method.ErrUnknownMethod).
 //
 // Preprocessing cost is the named method's own — potentially far above
-// TPA's. The returned Method is NOT safe for concurrent queries; callers
-// must serialize (the server does).
+// TPA's. The returned Method is NOT safe for concurrent queries unless it
+// declares the method.Concurrent capability ("tpa" and "exact" do);
+// callers must serialize the rest (the server does).
 func (e *Engine) NewMethod(name string) (method.Method, error) {
 	if e.walk == nil {
 		return nil, fmt.Errorf("tpa: engine has no in-memory CSR graph (streaming or uncompacted overlay): %w", method.ErrUnavailable)
@@ -282,6 +449,12 @@ func (e *Engine) NewMethod(name string) (method.Method, error) {
 	}
 	if err := m.Preprocess(e.walk, e.tpa.Config()); err != nil {
 		return nil, err
+	}
+	if e.perm != nil {
+		// Alternative methods preprocess over the reordered (internal) graph
+		// for the same locality win as the native engine; the decorator keeps
+		// their answers in external ids.
+		return &remapMethod{m: m, perm: e.perm, inv: e.inv}, nil
 	}
 	return m, nil
 }
@@ -301,27 +474,31 @@ type QueryMeta = core.QueryMeta
 // Query exactly. This is the engine half of SLO-driven serving: a deadline
 // degrades accuracy, never availability.
 func (e *Engine) QueryDeadline(ctx context.Context, seed int) ([]float64, QueryMeta, error) {
-	r, meta, err := e.tpa.QueryDeadline(ctx, seed)
+	r, meta, err := e.tpa.QueryDeadline(ctx, e.toInternal(seed))
 	if err != nil {
 		return nil, meta, err
 	}
-	return r, meta, nil
+	return e.toExternalVec(r), meta, nil
 }
 
 // TopKDeadline is TopK honoring ctx, with the partial-answer contract of
 // QueryDeadline.
 func (e *Engine) TopKDeadline(ctx context.Context, seed, k int) ([]Entry, QueryMeta, error) {
-	return e.tpa.TopKDeadline(ctx, seed, k)
+	top, meta, err := e.tpa.TopKDeadline(ctx, e.toInternal(seed), k)
+	if err != nil {
+		return nil, meta, err
+	}
+	return e.toExternalEntries(top), meta, nil
 }
 
 // QuerySetDeadline is QuerySet honoring ctx, with the partial-answer
 // contract of QueryDeadline.
 func (e *Engine) QuerySetDeadline(ctx context.Context, seeds []int) ([]float64, QueryMeta, error) {
-	r, meta, err := e.tpa.QuerySetDeadline(ctx, seeds)
+	r, meta, err := e.tpa.QuerySetDeadline(ctx, e.toInternalSeeds(seeds))
 	if err != nil {
 		return nil, meta, err
 	}
-	return r, meta, nil
+	return e.toExternalVec(r), meta, nil
 }
 
 // TopKBatchDeadline is TopKBatch honoring ctx: all seeds share the budget,
@@ -329,7 +506,14 @@ func (e *Engine) QuerySetDeadline(ctx context.Context, seeds []int) ([]float64, 
 // complete at full S, late seeds come back Partial. Metas[i] describes
 // seeds[i].
 func (e *Engine) TopKBatchDeadline(ctx context.Context, seeds []int, k, parallelism int) ([][]Entry, []QueryMeta, error) {
-	return e.tpa.TopKBatchDeadline(ctx, seeds, k, e.batchWorkers(parallelism))
+	tops, metas, err := e.tpa.TopKBatchDeadline(ctx, e.toInternalSeeds(seeds), k, e.batchWorkers(parallelism))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range tops {
+		tops[i] = e.toExternalEntries(tops[i])
+	}
+	return tops, metas, nil
 }
 
 // Params returns the S and T split points in effect.
@@ -341,12 +525,15 @@ func (e *Engine) Params() (s, t int) {
 // ErrorBound returns the a-priori L1 error guarantee 2(1-c)^S of Theorem 2.
 func (e *Engine) ErrorBound() float64 { return e.tpa.ErrorBound() }
 
-// IndexBytes returns the size of the preprocessed data (8 bytes per node).
+// IndexBytes returns the size of the preprocessed data as shipped (8 bytes
+// per node, or 4 for Float32 engines).
 func (e *Engine) IndexBytes() int64 { return e.tpa.IndexBytes() }
 
 // Graph returns the in-memory CSR graph the engine serves, or nil for
 // streaming engines and for engines carrying uncompacted mutations (call
-// Compact first to materialize those as a fresh CSR).
+// Compact first to materialize those as a fresh CSR). For reordered
+// engines (Options.Order) this is the INTERNAL, permuted graph; use
+// Permutation to translate its node ids back to external ones.
 func (e *Engine) Graph() *Graph {
 	if e.walk == nil {
 		return nil
@@ -435,6 +622,14 @@ func (e *Engine) ApplyEdges(adds, removes [][2]int) (*Engine, MutationStats, err
 	default:
 		return nil, stats, fmt.Errorf("streaming engine: %w", ErrNotMutable)
 	}
+	adds, err := e.toInternalEdges(adds)
+	if err != nil {
+		return nil, stats, fmt.Errorf("tpa: applying edges: %w", err)
+	}
+	removes, err = e.toInternalEdges(removes)
+	if err != nil {
+		return nil, stats, fmt.Errorf("tpa: applying edges: %w", err)
+	}
 	added, removed, err := d.Apply(adds, removes)
 	if err != nil {
 		return nil, stats, fmt.Errorf("tpa: applying edges: %w", err)
@@ -452,11 +647,12 @@ func (e *Engine) ApplyEdges(adds, removes [][2]int) (*Engine, MutationStats, err
 		return e, stats, nil
 	}
 
-	ne := &Engine{workers: e.workers, compactAfter: e.compactAfter, maxResidual: e.maxResidual}
+	ne := &Engine{workers: e.workers, compactAfter: e.compactAfter, maxResidual: e.maxResidual,
+		perm: e.perm, inv: e.inv, order: e.order, tile: e.tile}
 	var op rwr.Operator
 	if d.Staleness() >= e.compactAfter {
 		ne.walk = graph.NewWalk(d.Compact(), policy)
-		op = ne.walk
+		op = tiledOp(ne.walk, e.tile)
 		stats.Compacted = true
 	} else {
 		ne.dwalk = graph.NewDeltaWalk(d, policy)
@@ -486,12 +682,13 @@ func (e *Engine) Compact() (*Engine, error) {
 		return e, nil
 	}
 	w := graph.NewWalk(e.dwalk.Delta().Compact(), e.dwalk.Policy())
-	tp, err := e.tpa.WithOperator(w)
+	tp, err := e.tpa.WithOperator(tiledOp(w, e.tile))
 	if err != nil {
 		return nil, fmt.Errorf("tpa: compacting: %w", err)
 	}
 	return &Engine{tpa: tp, walk: w, workers: e.workers,
-		compactAfter: e.compactAfter, maxResidual: e.maxResidual}, nil
+		compactAfter: e.compactAfter, maxResidual: e.maxResidual,
+		perm: e.perm, inv: e.inv, order: e.order, tile: e.tile}, nil
 }
 
 // SaveIndex serializes the preprocessed state so it can be shipped to query
@@ -528,17 +725,20 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if e.walk == nil {
 		return fmt.Errorf("tpa: streaming engines cannot be snapshotted")
 	}
-	return core.WriteSnapshot(w, e.tpa)
+	return core.WriteSnapshotPerm(w, e.tpa, e.perm)
 }
 
 // LoadSnapshot reconstructs an engine from a combined snapshot written by
 // SaveSnapshot. Decode failures wrap ErrBadSnapshot.
 func LoadSnapshot(r io.Reader) (*Engine, error) {
-	w, tp, err := core.ReadSnapshot(r)
+	w, tp, perm, err := core.ReadSnapshot(r)
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading snapshot: %w", err)
 	}
-	e := &Engine{tpa: tp, walk: w}
+	e := &Engine{tpa: tp, walk: w, perm: perm}
+	if perm != nil {
+		e.inv = graph.InvertPermutation(perm)
+	}
 	e.applyMutationOpts(Options{})
 	return e, nil
 }
@@ -583,11 +783,14 @@ func LoadSnapshotFile(path string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, tp, err := core.ReadSnapshotBounded(f, st.Size())
+	w, tp, perm, err := core.ReadSnapshotBounded(f, st.Size())
 	if err != nil {
 		return nil, fmt.Errorf("tpa: loading snapshot %s: %w", path, err)
 	}
-	e := &Engine{tpa: tp, walk: w}
+	e := &Engine{tpa: tp, walk: w, perm: perm}
+	if perm != nil {
+		e.inv = graph.InvertPermutation(perm)
+	}
 	e.applyMutationOpts(Options{})
 	return e, nil
 }
@@ -609,6 +812,17 @@ func CreateEdgeFile(path string, g *Graph) error {
 // memory; it must not be queried concurrently (one shared file cursor).
 func NewFromEdgeFile(path string, o Options) (*Engine, error) {
 	cfg, params := o.split()
+	if ord, err := reorder.ParseOrder(o.Order); err != nil {
+		return nil, fmt.Errorf("tpa: %w", err)
+	} else if ord != reorder.OrderNatural {
+		return nil, fmt.Errorf("tpa: Options.Order %q requires an in-memory graph (streaming engines scan the edge file in natural order)", o.Order)
+	}
+	if o.Precision != Float64 {
+		return nil, fmt.Errorf("tpa: Options.Precision float32 requires an in-memory graph (the streaming operator has no float32 kernel)")
+	}
+	if o.Tile != 0 {
+		return nil, fmt.Errorf("tpa: Options.Tile requires an in-memory graph (the streaming operator is already sequential)")
+	}
 	ef, err := stream.Open(path)
 	if err != nil {
 		return nil, err
