@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"tpa"
+	"tpa/internal/ingest"
 	"tpa/internal/server"
 )
 
@@ -205,6 +206,14 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 256, "concurrent query requests before shedding 503s (0 = unlimited)")
 	maxBatch := fs.Int("max-batch", 4096, "max seeds per /batch or /queryset request (0 = unlimited)")
 	defaultDeadline := fs.Duration("default-deadline", 0, "per-query budget when no X-TPA-Deadline-Ms header is sent; expired queries return partial answers (0 = none)")
+	walRoot := fs.String("wal", "", "directory for durable ingestion: per-graph write-ahead logs and compacted snapshots; replayed on boot")
+	fsyncMode := fs.String("fsync", "batch", "WAL durability: always (fsync per batch), batch (fsync on a short timer), off")
+	ingestQueue := fs.Int("ingest-queue", 1024, "bounded ingest queue capacity in edge events")
+	ingestMode := fs.String("ingest-mode", "block", "backpressure when the ingest queue is full: block, drop, or reject (429)")
+	batchEdges := fs.Int("ingest-batch-edges", 4096, "max edges coalesced into one apply batch")
+	batchAge := fs.Duration("ingest-batch-age", 25*time.Millisecond, "max time an admitted edge event waits before its batch is applied")
+	compactStaleness := fs.Float64("compact-staleness", 0, "auto-compact when the mutation overlay exceeds this fraction of the base graph (0 = off)")
+	compactWALBytes := fs.Int64("compact-wal-bytes", 128<<20, "auto-compact (and truncate the WAL) when live WAL bytes exceed this (0 = off)")
 	o := tpaOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,6 +228,29 @@ func cmdServe(args []string) error {
 	if *indexPath != "" && strings.HasSuffix(*graphPath, ".tpas") {
 		return fmt.Errorf("serve: -index cannot be combined with a .tpas snapshot (it already embeds its index)")
 	}
+	var ing *ingestSetup
+	if *walRoot != "" {
+		fsync, err := ingest.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		mode, err := ingest.ParseMode(*ingestMode)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		ing = &ingestSetup{
+			root: *walRoot,
+			wal:  ingest.WALOptions{Fsync: fsync},
+			queue: ingest.Options{
+				QueueSize:        *ingestQueue,
+				MaxBatchEdges:    *batchEdges,
+				MaxBatchAge:      *batchAge,
+				Mode:             mode,
+				CompactStaleness: *compactStaleness,
+				CompactWALBytes:  *compactWALBytes,
+			},
+		}
+	}
 
 	h := server.NewRegistry(server.Options{
 		Workers:         *workers,
@@ -228,11 +260,11 @@ func cmdServe(args []string) error {
 		DefaultDeadline: *defaultDeadline,
 	})
 	if *graphsDir != "" {
-		if err := registerDir(h, *graphsDir, *o); err != nil {
+		if err := registerDir(h, *graphsDir, *o, ing); err != nil {
 			return err
 		}
 	} else {
-		if err := h.RegisterLoader("default", singleLoader(*graphPath, *indexPath, *o)); err != nil {
+		if err := h.RegisterLoader("default", ing.wrap("default", singleLoader(*graphPath, *indexPath, *o))); err != nil {
 			return err
 		}
 		if err := h.SetDefault("default"); err != nil {
@@ -243,6 +275,9 @@ func cmdServe(args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("serve: no graphs registered from %s", *graphsDir)
 	}
+	if err := ing.enable(h, names); err != nil {
+		return err
+	}
 	log.Printf("tpad: serving %d graph(s) on %s: %s", len(names), *addr, strings.Join(names, ", "))
 
 	srv := &http.Server{Addr: *addr, Handler: h}
@@ -252,6 +287,7 @@ func cmdServe(args []string) error {
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
+		h.Close()
 		return fmt.Errorf("serving: %w", err)
 	case <-ctx.Done():
 	}
@@ -262,7 +298,91 @@ func cmdServe(args []string) error {
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("tpad: shutdown: %v", err)
 	}
+	// Close after the HTTP drain: the ingest pipelines flush their queues,
+	// fsync and close the WALs, so a clean exit leaves nothing to replay.
+	if err := h.Close(); err != nil {
+		log.Printf("tpad: closing ingest pipelines: %v", err)
+	}
 	log.Printf("tpad: bye")
+	return nil
+}
+
+// ingestSetup carries the -wal/-fsync/-ingest-*/-compact-* serve flags. A
+// nil setup (no -wal) leaves loaders and registration untouched.
+type ingestSetup struct {
+	root  string
+	wal   ingest.WALOptions
+	queue ingest.Options
+}
+
+// walDir is the per-graph WAL segment directory under the -wal root.
+func (s *ingestSetup) walDir(name string) string { return filepath.Join(s.root, name) }
+
+// snapPath is the per-graph compacted snapshot auto-compaction rewrites;
+// boot prefers it over the originally registered source.
+func (s *ingestSetup) snapPath(name string) string { return filepath.Join(s.root, name+".tpas") }
+
+// wrap makes a loader durable: prefer the compacted snapshot, then replay
+// the graph's WAL on top, so a restarted server resumes exactly where the
+// log ends — including after kill -9 mid-ingest.
+func (s *ingestSetup) wrap(name string, base server.Loader) server.Loader {
+	if s == nil {
+		return base
+	}
+	walDir, snapPath := s.walDir(name), s.snapPath(name)
+	return func() (server.Engine, server.Info, error) {
+		var eng *tpa.Engine
+		var info server.Info
+		if _, err := os.Stat(snapPath); err == nil {
+			eng, err = tpa.LoadSnapshotFile(snapPath)
+			if err != nil {
+				return nil, server.Info{}, fmt.Errorf("loading compacted snapshot %s: %w", snapPath, err)
+			}
+			info = engineInfo(eng, snapPath)
+			log.Printf("tpad: %s: cold-started from compacted snapshot %s", name, snapPath)
+		} else {
+			bEng, bInfo, err := base()
+			if err != nil {
+				return nil, server.Info{}, err
+			}
+			te, ok := bEng.(*tpa.Engine)
+			if !ok {
+				return nil, server.Info{}, fmt.Errorf("graph %q is served by a %T, which does not support durable ingestion", name, bEng)
+			}
+			eng, info = te, bInfo
+		}
+		replayed, stats, err := eng.ReplayWAL(walDir)
+		if err != nil {
+			return nil, server.Info{}, err
+		}
+		if stats.Records > 0 {
+			log.Printf("tpad: %s: replayed %d WAL record(s) across %d segment(s) (%d edges in %d batches)",
+				name, stats.Records, stats.Segments, stats.Edges, stats.Applies)
+		}
+		if stats.Truncated {
+			log.Printf("tpad: %s: WAL tail torn (%v); resuming from the last durable record", name, stats.TailError)
+		}
+		info.Nodes, info.Edges = replayed.NumNodes(), replayed.NumEdges()
+		return replayed, info, nil
+	}
+}
+
+// enable turns on the durable write pipeline for every registered graph.
+func (s *ingestSetup) enable(h *server.Handler, names []string) error {
+	if s == nil {
+		return nil
+	}
+	for _, name := range names {
+		cfg := server.IngestConfig{
+			Dir:          s.walDir(name),
+			WAL:          s.wal,
+			Queue:        s.queue,
+			SnapshotPath: s.snapPath(name),
+		}
+		if err := h.EnableIngest(name, cfg); err != nil {
+			return fmt.Errorf("serve: enabling ingest for %q: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -330,8 +450,9 @@ func edgeListLoader(path string, o tpa.Options) server.Loader {
 }
 
 func engineInfo(eng *tpa.Engine, path string) server.Info {
-	g := eng.Graph()
-	return server.Info{Nodes: g.NumNodes(), Edges: g.NumEdges(), Name: path}
+	// NumNodes/NumEdges, not Graph(): an engine carrying an uncompacted
+	// mutation overlay (e.g. right after a WAL replay) has no base CSR.
+	return server.Info{Nodes: eng.NumNodes(), Edges: eng.NumEdges(), Name: path}
 }
 
 // registerDir scans dir and registers every snapshot (.tpas) and edge list
@@ -339,7 +460,7 @@ func engineInfo(eng *tpa.Engine, path string) server.Info {
 // graph name is the file name without extensions; when a snapshot and an
 // edge list share a stem (the `tpad build` default layout), the snapshot
 // wins and the edge list is skipped.
-func registerDir(h *server.Handler, dir string, o tpa.Options) error {
+func registerDir(h *server.Handler, dir string, o tpa.Options, ing *ingestSetup) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("serve: reading -graphs dir: %w", err)
@@ -364,7 +485,7 @@ func registerDir(h *server.Handler, dir string, o tpa.Options) error {
 			log.Printf("tpad: %s shadowed by %s.tpas, skipping", path, name)
 			continue
 		}
-		if err := h.RegisterLoader(name, loader); err != nil {
+		if err := h.RegisterLoader(name, ing.wrap(name, loader)); err != nil {
 			return fmt.Errorf("serve: registering %s: %w", path, err)
 		}
 		registered++

@@ -79,9 +79,11 @@ func cmdMutate(args []string) error {
 		return fmt.Errorf("mutate: -watch cannot be combined with -file/-add/-remove")
 	}
 	url := strings.TrimSuffix(*server, "/") + "/graphs/" + *graph + "/edges"
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *watch != "" {
-		return watchMutations(url, *watch, *interval)
+		return watchMutations(ctx, url, *watch, *interval)
 	}
 	batch := mutateRequest{Add: adds.edges, Remove: removes.edges}
 	if *file != "" {
@@ -100,7 +102,7 @@ func cmdMutate(args []string) error {
 	if len(batch.Add) == 0 && len(batch.Remove) == 0 {
 		return fmt.Errorf("mutate: nothing to apply; use -add/-remove/-file/-watch")
 	}
-	return postMutation(url, batch)
+	return postMutation(ctx, url, batch)
 }
 
 // mutateRequest mirrors the server's POST /graphs/{name}/edges body.
@@ -147,53 +149,94 @@ func parseMutations(sc *bufio.Scanner) (adds, removes [][2]int, err error) {
 	return adds, removes, sc.Err()
 }
 
-// postMutation sends one batch and prints the server's summary.
-func postMutation(url string, batch mutateRequest) error {
+// postMutation sends one batch and prints the server's summary. A 200 is a
+// synchronous apply; a 202 is a durable-ingest acknowledgement (the batch is
+// in the WAL, the batcher applies it shortly). 429 means reject-mode
+// backpressure: wait out the server's Retry-After and resend — the batch is
+// not logged until a 2xx comes back, so the retry cannot double-apply.
+func postMutation(ctx context.Context, url string, batch mutateRequest) error {
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			delay := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					delay = time.Duration(secs) * time.Second
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			continue
+		case http.StatusAccepted:
+			var ack struct {
+				Seq        uint64  `json:"seq"`
+				Dropped    bool    `json:"dropped"`
+				QueueDepth float64 `json:"queue_depth"`
+			}
+			if err := json.Unmarshal(payload, &ack); err != nil {
+				return fmt.Errorf("mutate: bad server response: %w", err)
+			}
+			if ack.Dropped {
+				fmt.Printf("dropped +%d -%d edges (ingest queue full, drop mode)\n",
+					len(batch.Add), len(batch.Remove))
+			} else {
+				fmt.Printf("queued +%d -%d edges durably (seq %d, queue depth %.0f)\n",
+					len(batch.Add), len(batch.Remove), ack.Seq, ack.QueueDepth)
+			}
+			return nil
+		case http.StatusOK:
+		default:
+			return fmt.Errorf("mutate: server answered %s: %s", resp.Status, strings.TrimSpace(string(payload)))
+		}
+		var summary struct {
+			Added        int     `json:"added"`
+			Removed      int     `json:"removed"`
+			Edges        int64   `json:"edges"`
+			Compacted    bool    `json:"compacted"`
+			Incremental  bool    `json:"incremental"`
+			ReindexIters int     `json:"reindex_iters"`
+			ElapsedMS    float64 `json:"elapsed_ms"`
+		}
+		if err := json.Unmarshal(payload, &summary); err != nil {
+			return fmt.Errorf("mutate: bad server response: %w", err)
+		}
+		mode := "incremental"
+		if !summary.Incremental {
+			mode = "full rebuild"
+		}
+		if summary.Compacted {
+			mode += ", compacted"
+		}
+		fmt.Printf("applied +%d -%d edges (now %d) in %.1fms — reindex: %s, %d iters\n",
+			summary.Added, summary.Removed, summary.Edges, summary.ElapsedMS, mode, summary.ReindexIters)
+		return nil
 	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("mutate: server answered %s: %s", resp.Status, strings.TrimSpace(string(payload)))
-	}
-	var summary struct {
-		Added        int     `json:"added"`
-		Removed      int     `json:"removed"`
-		Edges        int64   `json:"edges"`
-		Compacted    bool    `json:"compacted"`
-		Incremental  bool    `json:"incremental"`
-		ReindexIters int     `json:"reindex_iters"`
-		ElapsedMS    float64 `json:"elapsed_ms"`
-	}
-	if err := json.Unmarshal(payload, &summary); err != nil {
-		return fmt.Errorf("mutate: bad server response: %w", err)
-	}
-	mode := "incremental"
-	if !summary.Incremental {
-		mode = "full rebuild"
-	}
-	if summary.Compacted {
-		mode += ", compacted"
-	}
-	fmt.Printf("applied +%d -%d edges (now %d) in %.1fms — reindex: %s, %d iters\n",
-		summary.Added, summary.Removed, summary.Edges, summary.ElapsedMS, mode, summary.ReindexIters)
-	return nil
 }
 
 // watchMutations follows path from the beginning, posting every new run of
-// complete lines as one batch, until SIGINT/SIGTERM.
-func watchMutations(url, path string, interval time.Duration) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+// complete lines as one batch, until ctx is cancelled (^C from cmdMutate).
+func watchMutations(ctx context.Context, url, path string, interval time.Duration) error {
 	var offset int64
 	var pending []byte
 	for {
@@ -247,7 +290,7 @@ func watchMutations(url, path string, interval time.Duration) error {
 					return fmt.Errorf("mutate: %s: %w", path, err)
 				}
 				if len(adds) > 0 || len(removes) > 0 {
-					if err := postMutation(url, mutateRequest{Add: adds, Remove: removes}); err != nil {
+					if err := postMutation(ctx, url, mutateRequest{Add: adds, Remove: removes}); err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,86 @@
+package tpa_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tpa"
+	"tpa/internal/ingest"
+)
+
+// ingestBenchNodes sizes the throughput benchmark's graph: small enough
+// that many coalesced applies fit a short -benchtime run (keeping the
+// figure stable), large enough that the incremental reindex does real work.
+const ingestBenchNodes = 5000
+
+// ingestBenchEdge maps iteration i to an edge nobody has inserted yet, so
+// the workload never degenerates into set-semantic no-ops.
+func ingestBenchEdge(i int) [2]int {
+	return [2]int{i % ingestBenchNodes, (i/ingestBenchNodes + i) % ingestBenchNodes}
+}
+
+// BenchmarkIngestThroughput measures sustained edges/sec through the full
+// durable write pipeline — WAL append, bounded queue, coalescing batcher,
+// copy-on-write ApplyEdges. Each iteration is one event carrying a fresh
+// insert plus the deletion of the insert from 2k iterations ago (a
+// sliding window, so every operation mutates the graph and the engine
+// never bloats). Fsync is off: the subject is the CPU path (the fsync
+// policy is a deployment knob benchmarked poorly on shared CI disks).
+func BenchmarkIngestThroughput(b *testing.B) {
+	g := tpa.RandomSBMGraph(ingestBenchNodes, 8, 12, 0.9, 7)
+	eng, err := tpa.New(g, tpa.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ingest.OpenWAL(filepath.Join(b.TempDir(), "wal"), ingest.WALOptions{Fsync: ingest.FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex
+	cur := eng
+	ing, err := ingest.New(w, ingest.Hooks{
+		Apply: func(adds, removes [][2]int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			next, _, err := cur.ApplyEdges(adds, removes)
+			if err != nil {
+				return err
+			}
+			cur = next
+			return nil
+		},
+	}, ingest.Options{
+		QueueSize:     4096,
+		MaxBatchEdges: 2048,
+		MaxBatchAge:   time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const window = 2048
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adds := [][2]int{ingestBenchEdge(i)}
+		var removes [][2]int
+		if i >= window {
+			removes = [][2]int{ingestBenchEdge(i - window)}
+		}
+		if _, err := ing.Enqueue(ctx, adds, removes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Close drains the queue and applies every admitted event; the timer
+	// covers the full pipeline, not just admission.
+	if err := ing.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	if got := ing.Stats(); got.ApplyErrors > 0 {
+		b.Fatalf("apply errors during benchmark: %+v", got)
+	}
+}

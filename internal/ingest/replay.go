@@ -1,0 +1,252 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tpa/internal/binio"
+)
+
+// Batch is one durably logged edge-mutation batch.
+type Batch struct {
+	Seq     uint64
+	Adds    [][2]int
+	Removes [][2]int
+}
+
+// ReplayStats summarizes a WAL replay.
+type ReplayStats struct {
+	// Segments is the number of segment files read.
+	Segments int
+	// Records is the number of batch records decoded.
+	Records int
+	// Applies is the number of apply groups handed to the callback.
+	Applies int
+	// Edges is the total edge count (adds + removes) across all batches.
+	Edges int
+	// LastSeq is the highest batch sequence number seen.
+	LastSeq uint64
+	// Truncated reports that the final segment ended in a torn or
+	// corrupt tail, which was ignored. TailError describes it.
+	Truncated bool
+	// TailError is the (non-nil iff Truncated) description of the
+	// ignored tail. It is informational: Replay still succeeds.
+	TailError error
+}
+
+// errTorn marks a frame-level problem that is a clean stop when it is the
+// last thing in the last segment, and real corruption anywhere else.
+type tornError struct{ msg string }
+
+func (e *tornError) Error() string { return e.msg }
+
+func torn(format string, args ...any) error { return &tornError{fmt.Sprintf(format, args...)} }
+
+// readSegment decodes one segment file, streaming batches and markers to
+// the callbacks. It returns a *tornError for a truncated/corrupt tail and
+// a binio.ErrBadSnapshot-wrapped error for structural problems (bad
+// header); the caller decides which are fatal based on position.
+func readSegment(path string, onBatch func(Batch) error, onMarker func(uint64) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return torn("short segment header: %v", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != walMagic {
+		return binio.Errf("bad WAL segment magic %#x (want %#x)", m, walMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+		return binio.Errf("unsupported WAL segment version %d", v)
+	}
+	var frame [frameOverhead]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end of segment
+			}
+			return torn("torn record frame: %v", err)
+		}
+		n := binary.LittleEndian.Uint32(frame[0:])
+		want := binary.LittleEndian.Uint32(frame[4:])
+		if n == 0 || n > maxRecordBytes {
+			return torn("implausible record length %d", n)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return torn("torn record payload: %v", err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return torn("record checksum mismatch: got %#x want %#x", got, want)
+		}
+		switch payload[0] {
+		case recBatch:
+			b, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			if err := onBatch(b); err != nil {
+				return err
+			}
+		case recApply:
+			if len(payload) != 9 {
+				return binio.Errf("apply marker has %d bytes, want 9", len(payload))
+			}
+			if err := onMarker(binary.LittleEndian.Uint64(payload[1:])); err != nil {
+				return err
+			}
+		default:
+			return binio.Errf("unknown WAL record type %d", payload[0])
+		}
+	}
+}
+
+func decodeBatch(payload []byte) (Batch, error) {
+	const fixed = 1 + 8 + 4 + 4
+	if len(payload) < fixed {
+		return Batch{}, binio.Errf("batch record has %d bytes, want at least %d", len(payload), fixed)
+	}
+	b := Batch{Seq: binary.LittleEndian.Uint64(payload[1:])}
+	nAdd := binary.LittleEndian.Uint32(payload[9:])
+	nRem := binary.LittleEndian.Uint32(payload[13:])
+	want := fixed + 8*(int64(nAdd)+int64(nRem))
+	if int64(len(payload)) != want {
+		return Batch{}, binio.Errf("batch record has %d bytes, want %d for %d+%d edges", len(payload), want, nAdd, nRem)
+	}
+	off := fixed
+	decode := func(n uint32) [][2]int {
+		if n == 0 {
+			return nil
+		}
+		edges := make([][2]int, n)
+		for i := range edges {
+			edges[i][0] = int(int32(binary.LittleEndian.Uint32(payload[off:])))
+			edges[i][1] = int(int32(binary.LittleEndian.Uint32(payload[off+4:])))
+			off += 8
+		}
+		return edges
+	}
+	b.Adds = decode(nAdd)
+	b.Removes = decode(nRem)
+	return b, nil
+}
+
+// scanSegments reads the given segments in order. apply, if non-nil, is
+// called once per apply group (the batches covered by one marker, in one
+// slice) and once more at the end with any trailing unmarked batches —
+// the live process crashed after logging them but before (or during)
+// applying, and set-semantic edge mutations make re-applying the marked
+// prefix and applying the unmarked tail both idempotent and faithful.
+//
+// A torn tail in the LAST segment is tolerated (Truncated + TailError in
+// the stats); torn data in an earlier segment — valid segments follow, so
+// silently skipping would replay a hole — is a typed error wrapping
+// binio.ErrBadSnapshot, as is any structurally invalid record.
+func scanSegments(segs []string, apply func([]Batch) error) (ReplayStats, []Batch, error) {
+	var stats ReplayStats
+	var pending []Batch
+	flush := func(upTo uint64) error {
+		cut := 0
+		for cut < len(pending) && pending[cut].Seq <= upTo {
+			cut++
+		}
+		if cut == 0 {
+			return nil
+		}
+		group := pending[:cut:cut]
+		pending = pending[cut:]
+		stats.Applies++
+		if apply != nil {
+			if err := apply(group); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, seg := range segs {
+		err := readSegment(seg,
+			func(b Batch) error {
+				stats.Records++
+				stats.Edges += len(b.Adds) + len(b.Removes)
+				if b.Seq > stats.LastSeq {
+					stats.LastSeq = b.Seq
+				}
+				pending = append(pending, b)
+				return nil
+			},
+			func(upTo uint64) error { return flush(upTo) },
+		)
+		stats.Segments++
+		if err != nil {
+			var te *tornError
+			if errors.As(err, &te) && i == len(segs)-1 {
+				stats.Truncated = true
+				stats.TailError = te
+				break
+			}
+			if errors.As(err, &te) {
+				return stats, nil, binio.Errf("WAL segment %s: %s (valid segments follow)", seg, te.msg)
+			}
+			if errors.Is(err, binio.ErrBadSnapshot) {
+				return stats, nil, fmt.Errorf("WAL segment %s: %w", seg, err)
+			}
+			return stats, nil, err
+		}
+	}
+	// Trailing batches never covered by a marker: surface them as one
+	// final group so no durable write is lost.
+	if len(pending) > 0 {
+		stats.Applies++
+		if apply != nil {
+			if err := apply(pending); err != nil {
+				return stats, nil, err
+			}
+		}
+	}
+	return stats, pending, nil
+}
+
+// Replay reads every WAL segment under dir in order and invokes apply
+// once per apply group — the exact ApplyEdges partitioning the writing
+// process used, so a replayed engine reproduces the live engine's state
+// bit-for-bit. Trailing batches that were logged but never covered by an
+// apply marker are delivered as one final group.
+//
+// A missing or empty directory is not an error (zero stats). A torn tail
+// in the final segment is tolerated and reported via stats; corruption
+// followed by valid data is a typed error wrapping tpa.ErrBadSnapshot.
+func Replay(dir string, apply func(adds, removes [][2]int) error) (ReplayStats, error) {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ReplayStats{}, nil
+		}
+		return ReplayStats{}, err
+	}
+	stats, _, err := scanSegments(segs, func(group []Batch) error {
+		var nAdd, nRem int
+		for _, b := range group {
+			nAdd += len(b.Adds)
+			nRem += len(b.Removes)
+		}
+		adds := make([][2]int, 0, nAdd)
+		removes := make([][2]int, 0, nRem)
+		for _, b := range group {
+			adds = append(adds, b.Adds...)
+			removes = append(removes, b.Removes...)
+		}
+		return apply(adds, removes)
+	})
+	return stats, err
+}

@@ -47,6 +47,12 @@ func (h *Handler) mutateGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty mutation: provide add and/or remove edge lists")
 		return
 	}
+	// Durable ingestion (EnableIngest): enqueue through the WAL-backed
+	// pipeline and acknowledge with 202; the batcher applies in order.
+	if in := e.ingest.Load(); in != nil {
+		h.ingestMutate(w, r, e, in, req)
+		return
+	}
 	if !e.swapping.CompareAndSwap(false, true) {
 		httpError(w, http.StatusConflict, fmt.Sprintf("reload or mutation of %q already in progress", name))
 		return

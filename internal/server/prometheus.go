@@ -6,7 +6,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tpa/internal/ingest"
 )
+
+// ingestStats is the snapshot type the ingest metric closures read.
+type ingestStats = ingest.Stats
 
 // GET /metrics: Prometheus text exposition (version 0.0.4), hand-rolled so
 // the server stays dependency-free. This is the scrape surface dashboards
@@ -201,6 +206,40 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		func(s methodSample) float64 { return s.indexBytes })
 	methodMetric("tpa_method_preprocess_seconds", "Preprocessing cost per alternative method per graph.", "gauge",
 		func(s methodSample) float64 { return s.prepSeconds })
+
+	// Durable-ingest pipeline state (EnableIngest). Family headers are
+	// always emitted so dashboards see a stable surface; samples appear
+	// only for graphs with ingest enabled.
+	ingestMetric := func(name, help, typ string, get func(st ingestStats) float64) {
+		p.header(name, help, typ)
+		for _, e := range entries {
+			in := e.ingest.Load()
+			if in == nil {
+				continue
+			}
+			p.sample(name, promLabel("graph", e.name), get(in.Stats()))
+		}
+	}
+	ingestMetric("tpa_ingest_queue_depth", "Admitted edge events awaiting application, per graph.", "gauge",
+		func(st ingestStats) float64 { return float64(st.Depth) })
+	ingestMetric("tpa_ingest_queue_capacity", "Ingest queue capacity, per graph.", "gauge",
+		func(st ingestStats) float64 { return float64(st.Capacity) })
+	ingestMetric("tpa_ingest_enqueued_total", "Edge events admitted to the ingest queue, per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.Enqueued) })
+	ingestMetric("tpa_ingest_dropped_total", "Edge events discarded by drop-mode backpressure, per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.Dropped) })
+	ingestMetric("tpa_ingest_rejected_total", "Edge events refused with 429 by reject-mode backpressure, per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.Rejected) })
+	ingestMetric("tpa_ingest_applied_edges_total", "Edges (adds+removes) applied by the ingest batcher, per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.AppliedEdges) })
+	ingestMetric("tpa_ingest_apply_errors_total", "Failed batch applications, per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.ApplyErrors) })
+	ingestMetric("tpa_ingest_wal_lag_bytes", "Live write-ahead-log volume a restart would replay, per graph.", "gauge",
+		func(st ingestStats) float64 { return float64(st.WALLagBytes) })
+	ingestMetric("tpa_ingest_compactions_total", "Completed auto-compactions (overlay fold + snapshot rewrite + WAL truncation), per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.Compactions) })
+	ingestMetric("tpa_ingest_compact_errors_total", "Failed auto-compaction attempts (WAL kept), per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.CompactErrors) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(p.b.String()))

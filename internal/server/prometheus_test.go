@@ -115,6 +115,20 @@ var goldenMetrics = map[string]string{
 	"tpa_method_queries_total":      "counter",
 	"tpa_method_index_bytes":        "gauge",
 	"tpa_method_preprocess_seconds": "gauge",
+
+	// Durable-ingest pipeline (EnableIngest): queue depth, WAL lag and
+	// auto-compaction visibility. Headers are always present; samples
+	// appear per ingest-enabled graph.
+	"tpa_ingest_queue_depth":          "gauge",
+	"tpa_ingest_queue_capacity":       "gauge",
+	"tpa_ingest_enqueued_total":       "counter",
+	"tpa_ingest_dropped_total":        "counter",
+	"tpa_ingest_rejected_total":       "counter",
+	"tpa_ingest_applied_edges_total":  "counter",
+	"tpa_ingest_apply_errors_total":   "counter",
+	"tpa_ingest_wal_lag_bytes":        "gauge",
+	"tpa_ingest_compactions_total":    "counter",
+	"tpa_ingest_compact_errors_total": "counter",
 }
 
 func scrapeMetrics(t *testing.T, h *Handler) ([]promSample, map[string]string) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpa/internal/ingest"
 	"tpa/internal/method"
 	"tpa/internal/sparse"
 )
@@ -61,6 +62,9 @@ type graphEntry struct {
 	queries   atomic.Int64 // query requests routed to this graph
 	reloads   atomic.Int64 // completed reloads
 	mutations atomic.Int64 // completed edge mutations
+	// ingest is the graph's durable write pipeline, nil until EnableIngest.
+	// While set, POST /edges enqueues instead of applying synchronously.
+	ingest atomic.Pointer[ingest.Ingestor]
 }
 
 func (h *Handler) newState(eng Engine, info Info) *engineState {
@@ -227,7 +231,7 @@ func (h *Handler) graphStats(w http.ResponseWriter, r *http.Request) {
 	if st.cache != nil {
 		cache = st.cache.snapshot()
 	}
-	writeJSON(w, map[string]interface{}{
+	resp := map[string]interface{}{
 		"name":        e.name,
 		"graph":       st.info,
 		"s":           s,
@@ -241,7 +245,11 @@ func (h *Handler) graphStats(w http.ResponseWriter, r *http.Request) {
 		"loaded_at":   st.loadedAt.UTC().Format(time.RFC3339),
 		"cache":       cache,
 		"methods":     methodsJSON(st),
-	})
+	}
+	if in := e.ingest.Load(); in != nil {
+		resp["ingest"] = ingestJSON(in)
+	}
+	writeJSON(w, resp)
 }
 
 // methodsJSON summarizes the state's lazily built alternative methods:

@@ -22,15 +22,52 @@ import (
 	"io"
 	"os"
 
+	"tpa/internal/binio"
 	"tpa/internal/graph"
 	"tpa/internal/sparse"
 )
 
-// fileMagic identifies a stream edge file ("TPAS" + version 1).
-const fileMagic = uint32(0x54504153)
+// fileMagic identifies a stream edge file: "TPAE" (edge stream) on the
+// wire, little-endian. The format's first release reused the "TPAS" bytes
+// of the combined snapshot container (byte-swapped on the wire); new files
+// get a magic of their own, and Open keeps reading the legacy one.
+const (
+	fileMagic   = uint32(0x45415054) // "TPAE" on the wire (little-endian)
+	fileMagicV1 = uint32(0x54504153) // legacy v1 stream files ("TPAS" byte-swapped)
+)
 
 // headerSize is the byte length of the fixed file header.
 const headerSize = 4 + 4 + 8 + 8
+
+// otherFormats maps the magics of the repo's other binary containers to
+// human names, so pointing Open at the wrong file says what the file is
+// instead of a bare bad-magic number.
+var otherFormats = map[uint32]string{
+	0x53415054: "a combined graph+index snapshot (TPAS)",
+	0x47415054: "a graph CSR snapshot (TPAG)",
+	0x50415054: "a node-permutation sidecar (TPAP)",
+	0x57415054: "an ingest write-ahead-log segment (TPAW)",
+	0x54504132: "a TPA index (TPA2)",
+	0x54504133: "a precision-aware TPA index (TPA3)",
+}
+
+// FormatError is the typed sniff error Open returns when the file carries
+// the magic of a different (or unknown) format. It wraps
+// binio.ErrBadSnapshot, so errors.Is-based handling keeps working.
+type FormatError struct {
+	Path     string
+	Magic    uint32
+	Detected string // human name of the recognized format, "" when unknown
+}
+
+func (e *FormatError) Error() string {
+	if e.Detected != "" {
+		return fmt.Sprintf("stream: %s is %s, not a stream edge file", e.Path, e.Detected)
+	}
+	return fmt.Sprintf("stream: %s: bad magic %#x", e.Path, e.Magic)
+}
+
+func (e *FormatError) Unwrap() error { return binio.ErrBadSnapshot }
 
 // EdgeFile is a disk-resident graph opened for streaming propagation. It
 // keeps only the out-degree array in memory. Not safe for concurrent use
@@ -104,34 +141,46 @@ func Open(path string) (*EdgeFile, error) {
 	for _, v := range []interface{}{&magic, &version, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("stream: reading header: %w", err)
+			return nil, binio.Errf("stream: %s: reading header (%v)", path, err)
 		}
 	}
-	if magic != fileMagic {
+	if magic != fileMagic && magic != fileMagicV1 {
 		f.Close()
-		return nil, fmt.Errorf("stream: bad magic %#x", magic)
+		return nil, &FormatError{Path: path, Magic: magic, Detected: otherFormats[magic]}
 	}
 	if version != 1 {
 		f.Close()
-		return nil, fmt.Errorf("stream: unsupported version %d", version)
+		return nil, binio.Errf("stream: %s: unsupported version %d", path, version)
 	}
-	if n < 0 || m < 0 || n > 1<<31 {
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<56 {
 		f.Close()
-		return nil, fmt.Errorf("stream: implausible sizes n=%d m=%d", n, m)
+		return nil, binio.Errf("stream: %s: implausible sizes n=%d m=%d", path, n, m)
+	}
+	// The header fully determines the file size; verify before allocating
+	// the O(n) arrays so a corrupt header cannot demand gigabytes.
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := headerSize + 4*n + 8*m; st.Size() != want {
+		f.Close()
+		return nil, binio.Errf("stream: %s: file size %d does not match header (want %d for n=%d m=%d)",
+			path, st.Size(), want, n, m)
 	}
 	ef := &EdgeFile{path: path, f: f, n: int(n), m: m,
 		deg: make([]int32, n), inv: make([]float64, n), buf: make([]byte, 1<<20)}
 	degBytes := make([]byte, 4*n)
 	if _, err := io.ReadFull(br, degBytes); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("stream: reading degrees: %w", err)
+		return nil, binio.Errf("stream: %s: reading degrees (%v)", path, err)
 	}
 	var total int64
 	for i := int64(0); i < n; i++ {
 		d := int32(binary.LittleEndian.Uint32(degBytes[4*i:]))
 		if d < 0 {
 			f.Close()
-			return nil, fmt.Errorf("stream: negative degree at node %d", i)
+			return nil, binio.Errf("stream: %s: negative degree at node %d", path, i)
 		}
 		ef.deg[i] = d
 		if d > 0 {
@@ -141,7 +190,7 @@ func Open(path string) (*EdgeFile, error) {
 	}
 	if total != m {
 		f.Close()
-		return nil, fmt.Errorf("stream: degree sum %d != edge count %d", total, m)
+		return nil, binio.Errf("stream: %s: degree sum %d != edge count %d", path, total, m)
 	}
 	return ef, nil
 }

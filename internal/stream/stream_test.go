@@ -1,11 +1,15 @@
 package stream
 
 import (
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"tpa/internal/binio"
 	"tpa/internal/core"
 	"tpa/internal/gen"
 	"tpa/internal/graph"
@@ -168,4 +172,93 @@ func TestMulTPanicsOnWrongLength(t *testing.T) {
 		}
 	}()
 	ef.MulT(sparse.NewVector(5), sparse.NewVector(20))
+}
+
+// Pointing Open at another TPA container must say what the file is, typed,
+// instead of a bare bad-magic number.
+func TestOpenSniffsOtherFormats(t *testing.T) {
+	cases := []struct {
+		magic uint32
+		want  string
+	}{
+		{0x53415054, "combined graph+index snapshot"},
+		{0x47415054, "graph CSR snapshot"},
+		{0x57415054, "write-ahead-log segment"},
+		{0xdeadbeef, "bad magic"},
+	}
+	for _, tc := range cases {
+		hdr := make([]byte, headerSize)
+		binary.LittleEndian.PutUint32(hdr[0:], tc.magic)
+		path := filepath.Join(t.TempDir(), "other.bin")
+		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(path)
+		if err == nil {
+			t.Fatalf("magic %#x: opened without error", tc.magic)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("magic %#x: error %v is not a *FormatError", tc.magic, err)
+		}
+		if !errors.Is(err, binio.ErrBadSnapshot) {
+			t.Fatalf("magic %#x: error does not wrap binio.ErrBadSnapshot", tc.magic)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("magic %#x: error %q does not name %q", tc.magic, err, tc.want)
+		}
+	}
+}
+
+// Files written before the magic split (with the byte-swapped "TPAS"
+// constant) must keep opening.
+func TestOpenLegacyMagic(t *testing.T) {
+	g := gen.CommunityRMAT(50, 200, 2, 0.2, 33)
+	path := filepath.Join(t.TempDir(), "legacy.bin")
+	ef, err := Create(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(data[0:]); got != fileMagic {
+		t.Fatalf("new files carry magic %#x, want %#x", got, fileMagic)
+	}
+	binary.LittleEndian.PutUint32(data[0:], fileMagicV1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Open(path)
+	if err != nil {
+		t.Fatalf("legacy-magic file rejected: %v", err)
+	}
+	defer legacy.Close()
+	if legacy.N() != g.NumNodes() || legacy.NumEdges() != g.NumEdges() {
+		t.Fatalf("legacy metadata %d/%d vs %d/%d", legacy.N(), legacy.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+// A truncated or size-inconsistent file is rejected before the degree
+// arrays are allocated, with a typed error.
+func TestOpenSizeMismatch(t *testing.T) {
+	g := gen.CommunityRMAT(50, 200, 2, 0.2, 34)
+	path := filepath.Join(t.TempDir(), "short.bin")
+	ef, err := Create(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, binio.ErrBadSnapshot) {
+		t.Fatalf("truncated file: err = %v, want ErrBadSnapshot", err)
+	}
 }

@@ -544,6 +544,16 @@ func (e *Engine) Graph() *Graph {
 // NumNodes returns the node count of the served graph.
 func (e *Engine) NumNodes() int { return e.tpa.Walk().N() }
 
+// Staleness reports the pending mutation overlay's size relative to the
+// base CSR (see graph.Delta.Staleness): 0 for engines with no uncompacted
+// mutations. Auto-compaction policies (internal/ingest) trigger on it.
+func (e *Engine) Staleness() float64 {
+	if e.dwalk == nil {
+		return 0
+	}
+	return e.dwalk.Delta().Staleness()
+}
+
 // NumEdges returns the edge count of the served graph, including pending
 // (uncompacted) mutations; -1 when unknown (streaming engines).
 func (e *Engine) NumEdges() int64 {
