@@ -151,9 +151,10 @@ func parseMutations(sc *bufio.Scanner) (adds, removes [][2]int, err error) {
 
 // postMutation sends one batch and prints the server's summary. A 200 is a
 // synchronous apply; a 202 is a durable-ingest acknowledgement (the batch is
-// in the WAL, the batcher applies it shortly). 429 means reject-mode
-// backpressure: wait out the server's Retry-After and resend — the batch is
-// not logged until a 2xx comes back, so the retry cannot double-apply.
+// in the WAL, the batcher applies it shortly). A 429 is backpressure, in two
+// flavors: reject mode carries Retry-After (wait and resend — the batch is
+// not logged until a 2xx comes back, so the retry cannot double-apply), drop
+// mode carries "dropped": true (the event is discarded; report and move on).
 func postMutation(ctx context.Context, url string, batch mutateRequest) error {
 	body, err := json.Marshal(batch)
 	if err != nil {
@@ -176,6 +177,14 @@ func postMutation(ctx context.Context, url string, batch mutateRequest) error {
 		}
 		switch resp.StatusCode {
 		case http.StatusTooManyRequests:
+			var shed struct {
+				Dropped bool `json:"dropped"`
+			}
+			if json.Unmarshal(payload, &shed) == nil && shed.Dropped {
+				fmt.Printf("dropped +%d -%d edges (ingest queue full, drop mode)\n",
+					len(batch.Add), len(batch.Remove))
+				return nil
+			}
 			delay := time.Second
 			if s := resp.Header.Get("Retry-After"); s != "" {
 				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
@@ -191,19 +200,13 @@ func postMutation(ctx context.Context, url string, batch mutateRequest) error {
 		case http.StatusAccepted:
 			var ack struct {
 				Seq        uint64  `json:"seq"`
-				Dropped    bool    `json:"dropped"`
 				QueueDepth float64 `json:"queue_depth"`
 			}
 			if err := json.Unmarshal(payload, &ack); err != nil {
 				return fmt.Errorf("mutate: bad server response: %w", err)
 			}
-			if ack.Dropped {
-				fmt.Printf("dropped +%d -%d edges (ingest queue full, drop mode)\n",
-					len(batch.Add), len(batch.Remove))
-			} else {
-				fmt.Printf("queued +%d -%d edges durably (seq %d, queue depth %.0f)\n",
-					len(batch.Add), len(batch.Remove), ack.Seq, ack.QueueDepth)
-			}
+			fmt.Printf("queued +%d -%d edges durably (seq %d, queue depth %.0f)\n",
+				len(batch.Add), len(batch.Remove), ack.Seq, ack.QueueDepth)
 			return nil
 		case http.StatusOK:
 		default:

@@ -56,6 +56,15 @@ var ErrQueueFull = errors.New("ingest: queue full")
 // ErrClosed is returned by Enqueue after Close.
 var ErrClosed = errors.New("ingest: ingestor closed")
 
+// ErrRetryable marks a transient Apply failure (e.g. a swap lock held by a
+// long reload). Hooks.Apply wraps its error with ErrRetryable to make the
+// batcher retry the batch instead of recording a permanent apply failure.
+var ErrRetryable = errors.New("ingest: retryable apply failure")
+
+// maxApplyRetries bounds how many times flush re-runs an Apply that keeps
+// failing with ErrRetryable before recording it as a real failure.
+const maxApplyRetries = 3
+
 // Hooks are the engine-side callbacks an Ingestor drives. Apply is
 // required; the rest are optional.
 type Hooks struct {
@@ -130,6 +139,7 @@ type Stats struct {
 	ApplyErrors    int64  // failed Apply hook calls
 	Compactions    int64  // successful auto-compactions
 	CompactErrors  int64  // failed auto-compactions
+	CompactBlocked int64  // compactions refused: an apply failure left the WAL ahead of the engine
 	WALLagBytes    int64  // live WAL volume a restart would replay
 	WALRecords     int64  // batch records appended since open
 	LastSeq        uint64 // last durable sequence number
@@ -164,6 +174,12 @@ type Ingestor struct {
 	applyErrors    atomic.Int64
 	compactions    atomic.Int64
 	compactErrors  atomic.Int64
+	compactBlocked atomic.Int64
+	// applyFailed counts batches the WAL holds but the engine is missing
+	// (Apply failed after the 202 ack). While it is non-zero the WAL is
+	// the only copy of those batches, so auto-compaction must not
+	// truncate it; only a restart replay recovers them.
+	applyFailed atomic.Int64
 
 	errMu        sync.Mutex
 	lastApplyErr error
@@ -196,6 +212,14 @@ func New(wal *WAL, hooks Hooks, opts Options) (*Ingestor, error) {
 func (in *Ingestor) Enqueue(ctx context.Context, adds, removes [][2]int) (Result, error) {
 	if len(adds)+len(removes) == 0 {
 		return Result{}, nil
+	}
+	// Refuse batches the WAL cannot frame before they are admitted (they
+	// are neither counted as drops/rejects nor logged): a record over the
+	// replay size cap would be acknowledged now and thrown away as
+	// corruption on the next restart.
+	if n := len(adds) + len(removes); n > MaxRecordEdges {
+		return Result{}, fmt.Errorf("ingest: batch of %d edges exceeds the %d-edge record limit: %w",
+			n, MaxRecordEdges, ErrBatchTooLarge)
 	}
 	if in.hooks.Validate != nil {
 		if err := in.hooks.Validate(adds, removes); err != nil {
@@ -261,6 +285,7 @@ func (in *Ingestor) Stats() Stats {
 		ApplyErrors:    in.applyErrors.Load(),
 		Compactions:    in.compactions.Load(),
 		CompactErrors:  in.compactErrors.Load(),
+		CompactBlocked: in.compactBlocked.Load(),
 		WALLagBytes:    in.wal.LagBytes(),
 		WALRecords:     in.wal.Records(),
 		LastSeq:        in.wal.LastSeq(),
@@ -345,13 +370,21 @@ func (g *group) reset() { *g = group{} }
 
 // flush applies the pending group and records the apply marker so a
 // replay reproduces this exact ApplyEdges partitioning. Slots are
-// released after the apply, so Depth counts unapplied events.
+// released after the apply, so Depth counts unapplied events. Transient
+// failures (ErrRetryable) are re-run in place before being recorded: a
+// recorded failure means the WAL is the batch's only copy, which blocks
+// auto-compaction until a restart replays it (see maybeCompact).
 func (in *Ingestor) flush(g *group) {
 	if g.events == 0 {
 		return
 	}
-	if err := in.hooks.Apply(g.adds, g.removes); err != nil {
+	err := in.hooks.Apply(g.adds, g.removes)
+	for attempt := 0; err != nil && errors.Is(err, ErrRetryable) && attempt < maxApplyRetries; attempt++ {
+		err = in.hooks.Apply(g.adds, g.removes)
+	}
+	if err != nil {
 		in.applyErrors.Add(1)
+		in.applyFailed.Add(1)
 		in.errMu.Lock()
 		in.lastApplyErr = err
 		in.errMu.Unlock()
@@ -418,7 +451,9 @@ func (in *Ingestor) run() {
 // matters — the WAL is only truncated after the snapshot is durable, and
 // both crash windows are safe: new snapshot + old WAL replays as no-ops
 // (edge mutations are set-semantic), old snapshot + old WAL replays
-// everything.
+// everything. Compaction is refused outright (CompactBlocked) while any
+// apply failure is outstanding, since then the WAL holds batches the
+// engine state — and thus the snapshot — would not include.
 func (in *Ingestor) maybeCompact() {
 	if in.hooks.Compact == nil {
 		return
@@ -455,6 +490,14 @@ drain:
 		}
 	}
 	in.flush(&g)
+	// A failed Apply leaves the WAL holding batches the engine never saw;
+	// truncating it now would turn a recoverable gap (restart replay) into
+	// silent loss of an acknowledged write. Refuse until a restart clears
+	// the backlog.
+	if in.applyFailed.Load() > 0 {
+		in.compactBlocked.Add(1)
+		return
+	}
 	if err := in.hooks.Compact(); err != nil {
 		in.compactErrors.Add(1)
 		in.errMu.Lock()

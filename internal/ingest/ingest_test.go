@@ -3,7 +3,9 @@ package ingest
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -405,4 +407,116 @@ func equalEdges(a, b [][2]int) bool {
 		}
 	}
 	return true
+}
+
+func TestIngestorOversizedBatchRejected(t *testing.T) {
+	eng := newFakeEngine()
+	in := testIngestor(t, eng, Options{}, Hooks{})
+	big := make([][2]int, MaxRecordEdges+1)
+	_, err := in.Enqueue(context.Background(), big, nil)
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+	// The refusal happened before admission: nothing logged, nothing
+	// counted as a drop or reject, no queue slot consumed.
+	st := in.Stats()
+	if st.WALRecords != 0 || st.Enqueued != 0 || st.Dropped != 0 || st.Rejected != 0 || st.Depth != 0 {
+		t.Fatalf("oversized batch leaked into the pipeline: %+v", st)
+	}
+}
+
+func TestIngestorApplyFailureBlocksCompaction(t *testing.T) {
+	// Once a batch fails to apply, the WAL is its only copy; compaction
+	// would truncate it and silently lose the acknowledged write.
+	eng := newFakeEngine()
+	boom := errors.New("reindex blew up")
+	var fail atomic.Bool
+	compacted := make(chan struct{}, 16)
+	in := testIngestor(t, eng, Options{
+		MaxBatchAge:     time.Millisecond,
+		CompactWALBytes: 1, // every flush triggers the size check
+	}, Hooks{
+		Apply: func(adds, removes [][2]int) error {
+			if fail.Load() {
+				return boom
+			}
+			return eng.apply(adds, removes)
+		},
+		Compact: func() error {
+			compacted <- struct{}{}
+			return nil
+		},
+	})
+	ctx := context.Background()
+	fail.Store(true)
+	if _, err := in.Enqueue(ctx, edges(0, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for in.Stats().ApplyErrors == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("apply failure never recorded")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Later batches succeed, but compaction stays refused: the records
+	// survive in the WAL and CompactBlocked advances.
+	fail.Store(false)
+	for i := 1; i < 5; i++ {
+		if _, err := in.Enqueue(ctx, edges(i, i+1), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for in.Stats().CompactBlocked == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("blocked compaction never recorded")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	st := in.Stats()
+	if st.Compactions != 0 {
+		t.Fatalf("compaction ran despite an outstanding apply failure: %+v", st)
+	}
+	select {
+	case <-compacted:
+		t.Fatal("Compact hook invoked despite an outstanding apply failure")
+	default:
+	}
+	if st.WALRecords == 0 {
+		t.Fatal("WAL truncated while holding the only copy of a failed batch")
+	}
+}
+
+func TestIngestorRetryableApplyRetriesInPlace(t *testing.T) {
+	// A transient failure (ErrRetryable) is re-run by the batcher and,
+	// once it clears, never surfaces as an apply failure — so it does not
+	// strand the batch or block compaction.
+	eng := newFakeEngine()
+	var calls atomic.Int64
+	in := testIngestor(t, eng, Options{MaxBatchAge: time.Millisecond}, Hooks{
+		Apply: func(adds, removes [][2]int) error {
+			if calls.Add(1) == 1 {
+				return fmt.Errorf("%w: swap lock busy", ErrRetryable)
+			}
+			return eng.apply(adds, removes)
+		},
+	})
+	if _, err := in.Enqueue(context.Background(), edges(3, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.has([2]int{3, 4}) {
+		t.Fatal("batch lost after a retryable failure")
+	}
+	st := in.Stats()
+	if st.ApplyErrors != 0 {
+		t.Fatalf("retryable failure recorded as an apply error: %+v", st)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("Apply called %d times, want a retry", calls.Load())
+	}
 }

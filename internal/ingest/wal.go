@@ -12,6 +12,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -74,6 +75,22 @@ const (
 // prefix beyond it is treated as corruption, so a torn length field cannot
 // drive a giant allocation.
 const maxRecordBytes = 8 << 20
+
+// batchFixedBytes is the fixed part of a batch payload: type byte,
+// sequence number, add count, remove count.
+const batchFixedBytes = 1 + 8 + 4 + 4
+
+// MaxRecordEdges is the largest batch (adds + removes) one WAL record can
+// hold. Append refuses anything bigger with ErrBatchTooLarge — if it
+// logged the record anyway, replay would reject the length prefix as
+// corruption and drop the acknowledged batch (plus everything after it in
+// the segment).
+const MaxRecordEdges = (maxRecordBytes - batchFixedBytes) / 8
+
+// ErrBatchTooLarge reports a batch that exceeds MaxRecordEdges. It is
+// returned before the batch is admitted or logged; servers translate it
+// to 413 Request Entity Too Large.
+var ErrBatchTooLarge = errors.New("ingest: batch exceeds the WAL record size limit")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -297,7 +314,13 @@ func encodeEdges(buf []byte, edges [][2]int) []byte {
 
 // Append logs one insert/remove batch and returns its sequence number.
 // Under FsyncAlways the record is on stable storage when Append returns.
+// A batch over MaxRecordEdges fails with ErrBatchTooLarge without
+// consuming a sequence number or touching the log.
 func (w *WAL) Append(adds, removes [][2]int) (uint64, error) {
+	if n := len(adds) + len(removes); n > MaxRecordEdges {
+		return 0, fmt.Errorf("ingest: batch of %d edges exceeds the %d-edge record limit: %w",
+			n, MaxRecordEdges, ErrBatchTooLarge)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {

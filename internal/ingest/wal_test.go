@@ -379,3 +379,35 @@ func TestWALFsyncAlways(t *testing.T) {
 	}
 	w.Close()
 }
+
+func TestWALAppendOversizedBatch(t *testing.T) {
+	// A batch the replay size cap cannot frame must be refused up front:
+	// if it were logged, readSegment would reject its length prefix as an
+	// "implausible record length" and throw away the acknowledged batch
+	// (and, mid-log, refuse to boot at all).
+	dir := t.TempDir()
+	w := testWAL(t, dir, WALOptions{Fsync: FsyncOff})
+	big := make([][2]int, MaxRecordEdges+1)
+	if _, err := w.Append(big, nil); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("Append(%d edges) err = %v, want ErrBatchTooLarge", len(big), err)
+	}
+	// The refusal consumed no sequence number and left the log appendable.
+	seq, err := w.Append(edges(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq after refused batch = %d, want 1", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir)
+	if len(got) != 1 || stats.LastSeq != 1 || stats.Truncated {
+		t.Fatalf("replay after refused batch: groups=%d stats=%+v", len(got), stats)
+	}
+	// The cap itself round-trips: a maximal batch is framed and replayed.
+	if sz := batchFixedBytes + 8*MaxRecordEdges; sz > maxRecordBytes {
+		t.Fatalf("MaxRecordEdges payload %d exceeds maxRecordBytes %d", sz, maxRecordBytes)
+	}
+}

@@ -38,22 +38,12 @@ type IngestConfig struct {
 }
 
 // swapTimeout bounds how long the ingest hooks wait for a concurrent
-// reload to release the entry's swap flag before giving up on a batch.
+// reload to release the entry's swap lock before giving up on one
+// attempt. The apply hook marks a timeout ingest.ErrRetryable, so the
+// batcher re-runs the batch rather than recording an apply failure — a
+// reload merely being slow must not strand a durably logged batch in the
+// WAL.
 const swapTimeout = 30 * time.Second
-
-// acquireSwap takes the entry's swap flag, waiting out concurrent
-// reloads/mutations (the batcher must not drop a durably logged batch just
-// because a reload was in flight).
-func acquireSwap(e *graphEntry) error {
-	deadline := time.Now().Add(swapTimeout)
-	for !e.swapping.CompareAndSwap(false, true) {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("graph %q: swap flag held for over %v", e.name, swapTimeout)
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return nil
-}
 
 // EnableIngest switches the named graph's write path to a durable ingest
 // pipeline. The graph must be registered and served by a *tpa.Engine.
@@ -153,10 +143,10 @@ func validateEdges(e *graphEntry, adds, removes [][2]int) error {
 // ApplyEdges + atomic state swap the synchronous path uses, serialized
 // against reloads via the entry's swap flag.
 func (h *Handler) applyForIngest(e *graphEntry, adds, removes [][2]int) error {
-	if err := acquireSwap(e); err != nil {
-		return err
+	if err := e.acquireSwap(swapTimeout); err != nil {
+		return fmt.Errorf("%w: %v", ingest.ErrRetryable, err)
 	}
-	defer e.swapping.Store(false)
+	defer e.releaseSwap()
 	st := e.state.Load()
 	eng, ok := st.eng.(*tpa.Engine)
 	if !ok {
@@ -181,10 +171,10 @@ func (h *Handler) applyForIngest(e *graphEntry, adds, removes [][2]int) error {
 // layer truncates the WAL only after this returns nil, so a crash at any
 // point leaves a (snapshot, WAL) pair that replays to the same state.
 func (h *Handler) compactForIngest(e *graphEntry, snapshotPath string) error {
-	if err := acquireSwap(e); err != nil {
+	if err := e.acquireSwap(swapTimeout); err != nil {
 		return err
 	}
-	defer e.swapping.Store(false)
+	defer e.releaseSwap()
 	st := e.state.Load()
 	eng, ok := st.eng.(*tpa.Engine)
 	if !ok {
@@ -214,6 +204,9 @@ func (h *Handler) ingestMutate(w http.ResponseWriter, r *http.Request, e *graphE
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("ingest queue for %q at capacity (%d pending)", e.name, in.Depth()))
 		return
+	case errors.Is(err, ingest.ErrBatchTooLarge):
+		httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
 	case errors.Is(err, tpa.ErrBadEdge):
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -233,7 +226,15 @@ func (h *Handler) ingestMutate(w http.ResponseWriter, r *http.Request, e *graphE
 	}
 	st := in.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
+	if res.Dropped {
+		// Drop mode discarded the event: say so in the status code, not
+		// just the body, or clients keying off 2xx would read a shed write
+		// as durably accepted. No Retry-After — unlike reject mode, the
+		// event is gone and retrying is the client's choice.
+		w.WriteHeader(http.StatusTooManyRequests)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
 	writeJSON(w, map[string]interface{}{
 		"graph":       e.name,
 		"accepted":    !res.Dropped,
@@ -259,6 +260,7 @@ func ingestJSON(in *ingest.Ingestor) map[string]interface{} {
 		"apply_errors":    st.ApplyErrors,
 		"compactions":     st.Compactions,
 		"compact_errors":  st.CompactErrors,
+		"compact_blocked": st.CompactBlocked,
 		"wal_lag_bytes":   st.WALLagBytes,
 		"wal_records":     st.WALRecords,
 		"last_seq":        st.LastSeq,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -256,4 +257,64 @@ func TestEnableIngestErrors(t *testing.T) {
 		t.Error("double EnableIngest accepted")
 	}
 	h.Close()
+}
+
+func TestIngestDropModeSignalsStatus(t *testing.T) {
+	// A drop-mode discard must be visible in the status code (429), not
+	// only in the body: clients keying off 2xx would otherwise read a shed
+	// write as durably accepted. Unlike reject mode there is no
+	// Retry-After — the event is gone, retrying is the client's choice.
+	h, _ := ingestHandler(t, ingest.Options{
+		Mode:          ingest.ModeDrop,
+		QueueSize:     1,
+		MaxBatchAge:   time.Millisecond,
+		MaxBatchEdges: 1,
+	})
+	var drop *httptest.ResponseRecorder
+	var body map[string]interface{}
+	for i := 0; i < 500; i++ {
+		rec, b := postJSON(t, h, "/graphs/default/edges",
+			fmt.Sprintf(`{"add":[[%d,%d]]}`, i%200, (i+1)%200))
+		if rec.Code == http.StatusTooManyRequests {
+			drop, body = rec, b
+			break
+		}
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if drop == nil {
+		t.Skip("queue drained faster than the burst; nothing dropped")
+	}
+	if body["dropped"] != true || body["accepted"] != false {
+		t.Fatalf("drop body = %v", body)
+	}
+	if drop.Header().Get("Retry-After") != "" {
+		t.Fatal("drop-mode 429 must not promise a retry window")
+	}
+}
+
+func TestIngestOversizedBatch413(t *testing.T) {
+	// A batch over the WAL record limit is refused with 413 before it is
+	// admitted or logged — acknowledged-then-unreplayable is the one
+	// combination the durable path must never produce.
+	h, _ := ingestHandler(t, ingest.Options{})
+	var sb strings.Builder
+	sb.WriteString(`{"add":[`)
+	for i := 0; i <= ingest.MaxRecordEdges; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString("[1,2]")
+	}
+	sb.WriteString(`]}`)
+	rec, _ := postJSON(t, h, "/graphs/default/edges", sb.String())
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413: %.200s", rec.Code, rec.Body.String())
+	}
+	_, body := get(t, h, "/graphs/default/stats")
+	ing := body["ingest"].(map[string]interface{})
+	if ing["wal_records"].(float64) != 0 {
+		t.Fatalf("oversized batch reached the WAL: %v", ing)
+	}
 }

@@ -18,7 +18,7 @@ import (
 // never dropped and never observe a half-mutated engine. The graph's cache
 // partition is replaced along with the engine — no stale answer survives a
 // mutation. Mutations and reloads of one graph serialize on the entry's
-// swapping flag; a POST /graphs/{name}/reload rebuilds from the registered
+// swap lock; a POST /graphs/{name}/reload rebuilds from the registered
 // loader and therefore discards mutations applied since.
 
 // mutateRequest is the POST /graphs/{name}/edges body: edge batches as
@@ -27,6 +27,13 @@ type mutateRequest struct {
 	Add    [][2]int `json:"add"`
 	Remove [][2]int `json:"remove"`
 }
+
+// maxMutationBody caps the POST /edges request body. Unbounded bodies
+// would let one request balloon memory, and on the durable path a batch
+// over the WAL record limit would be acknowledged now and discarded as
+// corruption by the next restart's replay. A var, not a const, so tests
+// can lower it.
+var maxMutationBody = int64(64 << 20)
 
 // mutateGraph serves POST /graphs/{name}/edges.
 func (h *Handler) mutateGraph(w http.ResponseWriter, r *http.Request) {
@@ -38,8 +45,15 @@ func (h *Handler) mutateGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxMutationBody)
 	var req mutateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("mutation body exceeds %d bytes: split the batch", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
@@ -53,11 +67,11 @@ func (h *Handler) mutateGraph(w http.ResponseWriter, r *http.Request) {
 		h.ingestMutate(w, r, e, in, req)
 		return
 	}
-	if !e.swapping.CompareAndSwap(false, true) {
+	if !e.trySwap() {
 		httpError(w, http.StatusConflict, fmt.Sprintf("reload or mutation of %q already in progress", name))
 		return
 	}
-	defer e.swapping.Store(false)
+	defer e.releaseSwap()
 	// Load the state under the swap lock: a concurrent reload cannot slip
 	// between this read and the Store below.
 	st := e.state.Load()

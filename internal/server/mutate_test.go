@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -237,5 +238,28 @@ func TestMutateUnderFire(t *testing.T) {
 	gi := stats["graph"].(map[string]interface{})
 	if want := float64(g.NumEdges() + 10); gi["edges"].(float64) != want {
 		t.Errorf("final edges = %v, want %v", gi["edges"], want)
+	}
+}
+
+func TestMutateBodyTooLarge(t *testing.T) {
+	// The decoder reads through http.MaxBytesReader: a body over the cap
+	// answers 413 instead of ballooning memory (and, on the durable path,
+	// instead of acknowledging a batch a restart could not replay).
+	old := maxMutationBody
+	maxMutationBody = 256
+	defer func() { maxMutationBody = old }()
+	h := testHandler(t)
+	body := `{"add":[` + strings.Repeat(`[1,2],`, 100) + `[1,2]]}`
+	if int64(len(body)) <= maxMutationBody {
+		t.Fatalf("test body (%d bytes) does not exceed the cap", len(body))
+	}
+	rec, _ := postJSON(t, h, "/graphs/default/edges", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	// Under the cap the same endpoint still works.
+	rec, _ = postJSON(t, h, "/graphs/default/edges", `{"add":[[1,2]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small mutation after 413: code = %d: %s", rec.Code, rec.Body.String())
 	}
 }

@@ -240,6 +240,8 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		func(st ingestStats) float64 { return float64(st.Compactions) })
 	ingestMetric("tpa_ingest_compact_errors_total", "Failed auto-compaction attempts (WAL kept), per graph.", "counter",
 		func(st ingestStats) float64 { return float64(st.CompactErrors) })
+	ingestMetric("tpa_ingest_compact_blocked_total", "Auto-compactions refused because an apply failure left the WAL ahead of the engine (restart to replay), per graph.", "counter",
+		func(st ingestStats) float64 { return float64(st.CompactBlocked) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(p.b.String()))

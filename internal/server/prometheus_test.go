@@ -127,8 +127,9 @@ var goldenMetrics = map[string]string{
 	"tpa_ingest_applied_edges_total":  "counter",
 	"tpa_ingest_apply_errors_total":   "counter",
 	"tpa_ingest_wal_lag_bytes":        "gauge",
-	"tpa_ingest_compactions_total":    "counter",
-	"tpa_ingest_compact_errors_total": "counter",
+	"tpa_ingest_compactions_total":     "counter",
+	"tpa_ingest_compact_errors_total":  "counter",
+	"tpa_ingest_compact_blocked_total": "counter",
 }
 
 func scrapeMetrics(t *testing.T, h *Handler) ([]promSample, map[string]string) {

@@ -55,10 +55,14 @@ func (st *engineState) cachedTopK(seed, k int) ([]sparse.Entry, error) {
 // graphEntry is one named graph in the registry. The entry itself is
 // stable for the life of the process; only its state pointer moves.
 type graphEntry struct {
-	name      string
-	loader    Loader // nil when registered with a fixed engine (not reloadable)
-	state     atomic.Pointer[engineState]
-	swapping  atomic.Bool  // serializes state swaps (reloads and mutations), not queries
+	name   string
+	loader Loader // nil when registered with a fixed engine (not reloadable)
+	state  atomic.Pointer[engineState]
+	// swap is a size-1 semaphore serializing state swaps (reloads and
+	// mutations), not queries. HTTP paths use trySwap (non-blocking, 409
+	// on contention); the ingest batcher uses acquireSwap to wait out a
+	// concurrent reload instead of failing a durably logged batch.
+	swap      chan struct{}
 	queries   atomic.Int64 // query requests routed to this graph
 	reloads   atomic.Int64 // completed reloads
 	mutations atomic.Int64 // completed edge mutations
@@ -66,6 +70,31 @@ type graphEntry struct {
 	// While set, POST /edges enqueues instead of applying synchronously.
 	ingest atomic.Pointer[ingest.Ingestor]
 }
+
+// trySwap claims the entry's swap slot without waiting.
+func (e *graphEntry) trySwap() bool {
+	select {
+	case e.swap <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// acquireSwap waits up to timeout for the swap slot.
+func (e *graphEntry) acquireSwap(timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case e.swap <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("graph %q: swap lock held for over %v", e.name, timeout)
+	}
+}
+
+// releaseSwap frees the slot claimed by trySwap/acquireSwap.
+func (e *graphEntry) releaseSwap() { <-e.swap }
 
 func (h *Handler) newState(eng Engine, info Info) *engineState {
 	st := &engineState{
@@ -130,7 +159,7 @@ func (h *Handler) register(name string, eng Engine, info Info, load Loader) erro
 	if _, dup := h.graphs[name]; dup {
 		return fmt.Errorf("server: graph %q already registered", name)
 	}
-	e := &graphEntry{name: name, loader: load}
+	e := &graphEntry{name: name, loader: load, swap: make(chan struct{}, 1)}
 	e.state.Store(h.newState(eng, info))
 	h.graphs[name] = e
 	return nil
@@ -284,11 +313,11 @@ func (h *Handler) reloadGraph(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("graph %q was registered with a fixed engine and cannot be reloaded", name))
 		return
 	}
-	if !e.swapping.CompareAndSwap(false, true) {
+	if !e.trySwap() {
 		httpError(w, http.StatusConflict, fmt.Sprintf("reload or mutation of %q already in progress", name))
 		return
 	}
-	defer e.swapping.Store(false)
+	defer e.releaseSwap()
 	start := time.Now()
 	eng, info, err := e.loader()
 	if err != nil {
