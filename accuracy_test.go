@@ -286,3 +286,38 @@ func TestAccuracyAfterMutationStorm(t *testing.T) {
 		checkAccuracy(t, "storm", final, final.Graph(), seed, o)
 	}
 }
+
+// TestAccuracySharded holds scatter-gather engines to the same Theorem-2
+// guarantees as the baseline, both freshly built and after a TPAM snapshot
+// round trip: the exact reference always runs on the original external-id
+// graph, so any id leak across the shard permutation or the zero-copy
+// loader shows up as a gross L1 error.
+func TestAccuracySharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const nodes = 350
+	g := tpa.RandomSBMGraph(nodes, 4, 5, 0.85, 23)
+	o := tpa.Defaults()
+	seeds := []int{0, rng.Intn(nodes), rng.Intn(nodes), nodes - 1}
+	for _, shards := range []int{2, 7} {
+		eng, err := tpa.NewSharded(g, shards, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := "sharded"
+		for _, seed := range seeds {
+			checkAccuracy(t, tag, eng, g, seed, o)
+		}
+		path := t.TempDir() + "/s.tpam"
+		if err := eng.SaveSnapshotMmap(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := tpa.LoadSnapshotMmap(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range seeds {
+			checkAccuracy(t, tag+"/mmap", loaded, g, seed, o)
+		}
+		loaded.Close()
+	}
+}

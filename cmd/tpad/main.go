@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"tpa"
+	"tpa/internal/gen"
 	"tpa/internal/ingest"
 	"tpa/internal/server"
 )
@@ -56,6 +57,8 @@ func main() {
 		err = cmdLoadgen(args[1:])
 	case len(args) > 0 && args[0] == "arena":
 		err = cmdArena(args[1:])
+	case len(args) > 0 && args[0] == "graphgen":
+		err = cmdGraphgen(args[1:])
 	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
 		usage()
 		return
@@ -73,6 +76,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tpad build -graph <edges.tsv> [-o <out.tpas>] [-s 5] [-t 10] [-c 0.15] [-eps 1e-9] [-workers N]
              [-order natural|degree|bfs|hubspoke] [-precision 64|32] [-tile N]
+             [-shards N] [-mmap]
+  tpad graphgen -out <edges.tsv[.gz]> [-nodes N] [-communities K] [-avgdeg D] [-pin P]
+             [-seed S] [-uniform] [-stream]
   tpad serve -graphs <dir>      [-addr :8080] [serving flags]
   tpad serve -graph <edges.tsv> [-index <in.idx>] [-addr :8080] [serving flags]
   tpad mutate -graph <name>     [-server URL] [-add u,v]... [-remove u,v]... [-file f]
@@ -87,6 +93,10 @@ func usage() {
 serving flags: -workers N -cache N -max-inflight N -max-batch N -default-deadline D
                -c -eps -s -t -order -precision -tile
 "tpad -graph ..." without a subcommand is the legacy alias for "tpad serve -graph ...".
+build -mmap writes a memory-mappable .tpam snapshot (zero-copy cold start;
+serve auto-detects it); -shards N builds a scatter-gather engine over N
+community-aligned shards. graphgen writes a synthetic SBM edge list;
+-stream generates row-at-a-time in constant memory for very large graphs.
 mutate posts edge batches to a running server's POST /graphs/{name}/edges;
 -watch follows a growing mutation file ("+ u v" / "- u v" lines) until ^C.
 loadgen drives an open-loop Zipf workload against a running server and exits
@@ -130,8 +140,10 @@ func (f precFlag) Set(s string) error {
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "edge-list file (required, .gz supported)")
-	out := fs.String("o", "", "output snapshot file (default: graph path with .tpas extension)")
+	out := fs.String("o", "", "output snapshot file (default: graph path with .tpas extension, .tpam with -mmap)")
 	workers := fs.Int("workers", 0, "goroutines for the preprocessing matvec (0 = all CPUs)")
+	shards := fs.Int("shards", 0, "partition into N community-aligned shards and scatter-gather queries across them (0/1 = unsharded)")
+	mmapOut := fs.Bool("mmap", false, "write a memory-mappable .tpam snapshot (zero-copy cold start) instead of .tpas")
 	o := tpaOpts(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,7 +154,12 @@ func cmdBuild(args []string) error {
 	o.Workers = *workers
 	dest := *out
 	if dest == "" {
-		dest = snapshotName(*graphPath)
+		name, _ := stem(*graphPath)
+		if *mmapOut {
+			dest = name + ".tpam"
+		} else {
+			dest = name + ".tpas"
+		}
 	}
 	start := time.Now()
 	g, err := tpa.LoadGraph(*graphPath)
@@ -151,12 +168,22 @@ func cmdBuild(args []string) error {
 	}
 	loadT := time.Since(start)
 	start = time.Now()
-	eng, err := tpa.New(g, *o)
+	var eng *tpa.Engine
+	if *shards > 1 {
+		eng, err = tpa.NewSharded(g, *shards, *o)
+	} else {
+		eng, err = tpa.New(g, *o)
+	}
 	if err != nil {
 		return fmt.Errorf("build: preprocessing: %w", err)
 	}
 	prepT := time.Since(start)
-	if err := eng.SaveSnapshotFile(dest); err != nil {
+	if *mmapOut {
+		err = eng.SaveSnapshotMmap(dest)
+	} else {
+		err = eng.SaveSnapshotFile(dest)
+	}
+	if err != nil {
 		return fmt.Errorf("build: writing snapshot: %w", err)
 	}
 	st, err := os.Stat(dest)
@@ -171,10 +198,57 @@ func cmdBuild(args []string) error {
 	if eng.Precision() == tpa.Float32 {
 		extras += " precision=float32"
 	}
+	if n := eng.NumShards(); n > 1 {
+		extras += fmt.Sprintf(" shards=%d", n)
+	}
 	fmt.Printf("built %s: %d nodes / %d edges (S=%d T=%d%s), %d bytes\n",
 		dest, g.NumNodes(), g.NumEdges(), s, t, extras, st.Size())
 	fmt.Printf("  parse %v, preprocess %v — serve cold-starts skip both\n",
 		loadT.Round(time.Millisecond), prepT.Round(time.Millisecond))
+	return nil
+}
+
+// cmdGraphgen writes a synthetic stochastic-block-model edge list — the
+// benchmark-input generator. With -stream the rows are generated and
+// written one source node at a time in constant memory, so inputs with
+// hundreds of millions of edges need no more RAM than the row buffer;
+// without it the graph is built in memory first (identical edges either
+// way — the streaming generator replays the builder's sampling sequence).
+func cmdGraphgen(args []string) error {
+	fs := flag.NewFlagSet("graphgen", flag.ExitOnError)
+	out := fs.String("out", "", "output edge-list file (required; .gz compresses)")
+	nodes := fs.Int("nodes", 100_000, "node count")
+	communities := fs.Int("communities", 16, "community count")
+	avgdeg := fs.Float64("avgdeg", 8, "expected out-degree per node")
+	pin := fs.Float64("pin", 0.9, "probability an edge stays inside its community")
+	seed := fs.Int64("seed", 1, "generator seed (same seed = same graph)")
+	uniform := fs.Bool("uniform", false, "uniform in-community targets (no Zipf in-degree skew)")
+	streamGen := fs.Bool("stream", false, "generate row-at-a-time in constant memory (for very large graphs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("graphgen: -out is required")
+	}
+	cfg := gen.SBMConfig{Nodes: *nodes, Communities: *communities,
+		AvgOutDeg: *avgdeg, PIn: *pin, Seed: *seed, Uniform: *uniform}
+	start := time.Now()
+	if *streamGen {
+		if err := gen.StreamSBMEdgeListFile(*out, cfg); err != nil {
+			return fmt.Errorf("graphgen: %w", err)
+		}
+	} else {
+		g := gen.SBM(cfg)
+		if err := tpa.SaveGraph(*out, g); err != nil {
+			return fmt.Errorf("graphgen: %w", err)
+		}
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %s: %d nodes, ~%.0f edges/node, %d bytes in %v\n",
+		*out, *nodes, *avgdeg, st.Size(), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -225,8 +299,8 @@ func cmdServe(args []string) error {
 	if *indexPath != "" && *graphsDir != "" {
 		return fmt.Errorf("serve: -index only applies to a single -graph edge list, not -graphs")
 	}
-	if *indexPath != "" && strings.HasSuffix(*graphPath, ".tpas") {
-		return fmt.Errorf("serve: -index cannot be combined with a .tpas snapshot (it already embeds its index)")
+	if *indexPath != "" && (strings.HasSuffix(*graphPath, ".tpas") || strings.HasSuffix(*graphPath, ".tpam")) {
+		return fmt.Errorf("serve: -index cannot be combined with a snapshot (it already embeds its index)")
 	}
 	var ing *ingestSetup
 	if *walRoot != "" {
@@ -390,7 +464,7 @@ func (s *ingestSetup) enable(h *server.Handler, names []string) error {
 // snapshot if the path is one, otherwise edge list + optional prebuilt
 // index, otherwise edge list + preprocessing.
 func singleLoader(graphPath, indexPath string, o tpa.Options) server.Loader {
-	if strings.HasSuffix(graphPath, ".tpas") {
+	if strings.HasSuffix(graphPath, ".tpas") || strings.HasSuffix(graphPath, ".tpam") {
 		return snapshotLoader(graphPath)
 	}
 	return func() (server.Engine, server.Info, error) {
@@ -455,20 +529,32 @@ func engineInfo(eng *tpa.Engine, path string) server.Info {
 	return server.Info{Nodes: eng.NumNodes(), Edges: eng.NumEdges(), Name: path}
 }
 
-// registerDir scans dir and registers every snapshot (.tpas) and edge list
-// (.tsv/.txt/.edges, optionally .gz) as a named, reloadable graph. The
-// graph name is the file name without extensions; when a snapshot and an
-// edge list share a stem (the `tpad build` default layout), the snapshot
-// wins and the edge list is skipped.
+// registerDir scans dir and registers every snapshot (.tpas/.tpam) and edge
+// list (.tsv/.txt/.edges, optionally .gz) as a named, reloadable graph. The
+// graph name is the file name without extensions; when several formats
+// share a stem (the `tpad build` default layout), the memory-mapped
+// snapshot wins over the heap snapshot, which wins over the edge list.
 func registerDir(h *server.Handler, dir string, o tpa.Options, ing *ingestSetup) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("serve: reading -graphs dir: %w", err)
 	}
-	snapshots := make(map[string]bool)
+	// Snapshot precedence: .tpam (memory-mapped) over .tpas, either over an
+	// edge list with the same stem — the `tpad build` default layout leaves
+	// all of them side by side.
+	snapExt := make(map[string]string)
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tpas") {
-			snapshots[strings.TrimSuffix(e.Name(), ".tpas")] = true
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), ".tpam"):
+			snapExt[strings.TrimSuffix(e.Name(), ".tpam")] = ".tpam"
+		case strings.HasSuffix(e.Name(), ".tpas"):
+			name := strings.TrimSuffix(e.Name(), ".tpas")
+			if snapExt[name] == "" {
+				snapExt[name] = ".tpas"
+			}
 		}
 	}
 	registered := 0
@@ -481,8 +567,8 @@ func registerDir(h *server.Handler, dir string, o tpa.Options, ing *ingestSetup)
 		if loader == nil {
 			continue
 		}
-		if !strings.HasSuffix(e.Name(), ".tpas") && snapshots[name] {
-			log.Printf("tpad: %s shadowed by %s.tpas, skipping", path, name)
+		if want := snapExt[name]; want != "" && !strings.HasSuffix(e.Name(), want) {
+			log.Printf("tpad: %s shadowed by %s%s, skipping", path, name, want)
 			continue
 		}
 		if err := h.RegisterLoader(name, ing.wrap(name, loader)); err != nil {
@@ -491,7 +577,7 @@ func registerDir(h *server.Handler, dir string, o tpa.Options, ing *ingestSetup)
 		registered++
 	}
 	if registered == 0 {
-		return fmt.Errorf("serve: no .tpas snapshots or edge lists found in %s", dir)
+		return fmt.Errorf("serve: no snapshots (.tpas/.tpam) or edge lists found in %s", dir)
 	}
 	return nil
 }
@@ -501,7 +587,7 @@ func registerDir(h *server.Handler, dir string, o tpa.Options, ing *ingestSetup)
 func classify(path, base string, o tpa.Options) (string, server.Loader) {
 	name, ext := stem(base)
 	switch ext {
-	case ".tpas":
+	case ".tpas", ".tpam":
 		if strings.HasSuffix(base, ".gz") {
 			return "", nil // snapshots are binary; gzip variants are not supported
 		}

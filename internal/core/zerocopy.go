@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"tpa/internal/rwr"
+	"tpa/internal/sparse"
+)
+
+// NewFromParts binds already-preprocessed TPA state to an operator without
+// copying: the mmap snapshot loader hands the mapped stranger vector (and,
+// for Float32 engines, its float32 twin) straight in, so attaching the
+// index is O(1) in graph size. The vectors are adopted, not cloned — they
+// must stay valid and unmodified for the life of the TPA, which the caller
+// guarantees by pinning the snapshot they are views of.
+func NewFromParts(w rwr.Operator, cfg rwr.Config, params Params, stranger sparse.Vector,
+	stranger32 sparse.Vector32, prec Precision, preIters int) (*TPA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if prec != Float64 && prec != Float32 {
+		return nil, fmt.Errorf("core: unknown precision %d", prec)
+	}
+	if len(stranger) != w.N() {
+		return nil, fmt.Errorf("core: stranger vector has %d entries but graph has %d nodes",
+			len(stranger), w.N())
+	}
+	if prec == Float32 && len(stranger32) != w.N() {
+		return nil, fmt.Errorf("core: float32 stranger vector has %d entries but graph has %d nodes",
+			len(stranger32), w.N())
+	}
+	if preIters < 0 {
+		return nil, fmt.Errorf("core: negative preprocessing iteration count %d", preIters)
+	}
+	t := &TPA{walk: w, cfg: cfg, params: params, stranger: stranger,
+		prec: prec, preIters: preIters}
+	if prec == Float32 {
+		// applyPrecision adopts a correctly sized float32 vector as-is
+		// instead of re-deriving it, preserving the zero-copy property.
+		t.stranger32 = stranger32
+	}
+	t.applyPrecision()
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"tpa/internal/graph"
+)
+
+// TestStreamSBMMatchesBuilder pins the streaming generator's crux: same
+// config, same seed ⇒ the exact edges the in-memory builder produces, row
+// for row. Anything else would make `tpad graphgen -stream` outputs
+// unreproducible against in-process test graphs.
+func TestStreamSBMMatchesBuilder(t *testing.T) {
+	for _, cfg := range []SBMConfig{
+		{Nodes: 300, Communities: 4, AvgOutDeg: 5, PIn: 0.9, Seed: 7},
+		{Nodes: 257, Communities: 3, AvgOutDeg: 3.5, PIn: 0.5, Seed: 42, Uniform: true},
+		{Nodes: 50, Communities: 1, AvgOutDeg: 2, PIn: 1, Seed: 1},
+	} {
+		want := SBM(cfg)
+		u := 0
+		err := StreamSBM(cfg, func(src int, targets []int32) error {
+			if src != u {
+				t.Fatalf("rows out of order: got %d, want %d", src, u)
+			}
+			row := want.OutNeighbors(src)
+			if len(row) != len(targets) {
+				t.Fatalf("cfg %+v: row %d has %d targets, builder has %d", cfg, src, len(targets), len(row))
+			}
+			for i := range row {
+				if row[i] != targets[i] {
+					t.Fatalf("cfg %+v: row %d entry %d: %d vs %d", cfg, src, i, targets[i], row[i])
+				}
+			}
+			u++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != cfg.Nodes {
+			t.Fatalf("emitted %d rows, want %d", u, cfg.Nodes)
+		}
+
+		sg, err := StreamSBMGraph(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("streamed CSR invalid: %v", err)
+		}
+		if sg.NumNodes() != want.NumNodes() || sg.NumEdges() != want.NumEdges() {
+			t.Fatalf("streamed graph %d/%d, builder %d/%d",
+				sg.NumNodes(), sg.NumEdges(), want.NumNodes(), want.NumEdges())
+		}
+
+		var buf bytes.Buffer
+		if err := StreamSBMEdgeList(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := graph.ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The edge list carries no isolated trailing nodes, so compare on
+		// edges; node count can only shrink.
+		if parsed.NumEdges() != want.NumEdges() {
+			t.Fatalf("edge-list round trip has %d edges, want %d", parsed.NumEdges(), want.NumEdges())
+		}
+	}
+}

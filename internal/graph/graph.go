@@ -53,6 +53,12 @@ type Graph struct {
 	// In-adjacency (CSC of the same matrix; CSR over destination nodes).
 	inPtr []int64
 	inIdx []int32
+
+	// backing pins the owner of externally adopted adjacency arrays (a
+	// mmapio.Snapshot for zero-copy graphs — see FromCSRArrays). Derived
+	// unsafe views do not keep an mmap alive on their own; holding the
+	// snapshot here ties the mapping's lifetime to the graph's.
+	backing any
 }
 
 // NumNodes returns the number of nodes.
@@ -114,40 +120,53 @@ func (g *Graph) Validate() error {
 	if len(g.outPtr) != g.n+1 || len(g.inPtr) != g.n+1 {
 		return fmt.Errorf("graph: pointer array length mismatch")
 	}
+	if g.outPtr[0] != 0 || g.inPtr[0] != 0 {
+		return fmt.Errorf("graph: row pointers do not start at 0")
+	}
 	if g.outPtr[g.n] != int64(len(g.outIdx)) || g.inPtr[g.n] != int64(len(g.inIdx)) {
 		return fmt.Errorf("graph: pointer/index length mismatch")
 	}
 	if len(g.outIdx) != len(g.inIdx) {
 		return fmt.Errorf("graph: CSR has %d edges but CSC has %d", len(g.outIdx), len(g.inIdx))
 	}
-	for _, ptr := range [][]int64{g.outPtr, g.inPtr} {
-		for i := 1; i <= g.n; i++ {
-			if ptr[i] < ptr[i-1] {
-				return fmt.Errorf("graph: non-monotone pointer at %d", i)
-			}
-		}
+	if err := validateAdjacency(g.outPtr, g.outIdx, g.n, "out"); err != nil {
+		return err
 	}
-	for u := 0; u < g.n; u++ {
-		prev := int32(-1)
-		for _, v := range g.OutNeighbors(u) {
-			if v < 0 || int(v) >= g.n {
-				return fmt.Errorf("graph: out-neighbor %d of %d out of range", v, u)
-			}
-			if v <= prev {
-				return fmt.Errorf("graph: out-neighbors of %d not strictly sorted", u)
-			}
-			prev = v
+	return validateAdjacency(g.inPtr, g.inIdx, g.n, "in")
+}
+
+// validateAdjacency checks one ptr/idx pair in a single raw-array pass:
+// pointers monotone and in bounds, every row strictly ascending with values
+// in [0, n). This runs on the zero-copy snapshot load path, where it is the
+// safety gate between untrusted mapped arrays and unchecked kernel
+// indexing, so the inner loop is tuned: comparing adjacent positions
+// (rather than a carried prev) keeps iterations independent for the
+// pipeline, and for a strictly ascending row only the first element needs
+// the lower-bound check and only the last the upper-bound check.
+func validateAdjacency(ptr []int64, idx []int32, n int, kind string) error {
+	m := int64(len(idx))
+	lo := ptr[0]
+	for u := 0; u < n; u++ {
+		hi := ptr[u+1]
+		// hi > m must be caught here, not by the final-pointer equality
+		// check: a pointer spiking past m and coming back down would slice
+		// idx out of range below before the monotonicity walk reaches it.
+		if hi < lo || hi > m {
+			return fmt.Errorf("graph: non-monotone %s pointer at %d", kind, u+1)
 		}
-		prev = -1
-		for _, v := range g.InNeighbors(u) {
-			if v < 0 || int(v) >= g.n {
-				return fmt.Errorf("graph: in-neighbor %d of %d out of range", v, u)
-			}
-			if v <= prev {
-				return fmt.Errorf("graph: in-neighbors of %d not strictly sorted", u)
-			}
-			prev = v
+		if lo == hi {
+			continue
 		}
+		row := idx[lo:hi:hi]
+		if row[0] < 0 || int(row[len(row)-1]) >= n {
+			return fmt.Errorf("graph: %s-neighbor of %d out of range [0,%d)", kind, u, n)
+		}
+		for i := 1; i < len(row); i++ {
+			if row[i] <= row[i-1] {
+				return fmt.Errorf("graph: %s-neighbors of %d not strictly sorted", kind, u)
+			}
+		}
+		lo = hi
 	}
 	return nil
 }

@@ -1,0 +1,28 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkValidate tracks the structural validator's per-edge cost. It sits
+// directly on the TPAM cold-start path (the only O(m) work a zero-copy load
+// does), so regressions here are cold-start regressions.
+func BenchmarkValidate(b *testing.B) {
+	const n, deg = 100_000, 12
+	rng := rand.New(rand.NewSource(7))
+	bld := NewBuilderN(n)
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			bld.AddEdge(u, rng.Intn(n))
+		}
+	}
+	g := bld.Build()
+	b.SetBytes(int64(g.NumEdges()) * 8) // CSR+CSC int32 entries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "fmt"
+
+// Zero-copy construction: adopt adjacency and normalization arrays that
+// already exist — typically views into a memory-mapped TPAM snapshot —
+// instead of decoding and copying them. This is what makes cold start O(1)
+// in graph size: the loader hands the mapped slices straight to the engine.
+
+// FromCSRArrays adopts preexisting CSR (outPtr/outIdx) and CSC
+// (inPtr/inIdx) arrays as a Graph without copying. Only O(1) length
+// invariants are checked here; the caller decides between trusting the
+// arrays (a checksummed snapshot it just verified) and running the full
+// O(n+m) Validate. backing, if non-nil, is retained for the life of the
+// graph so memory owned elsewhere (an mmap) cannot be released while views
+// into it are live.
+//
+// When inPtr/inIdx are nil the CSC mirror is rebuilt from the CSR with one
+// counting pass (allocating — not the zero-copy path).
+func FromCSRArrays(n int, outPtr []int64, outIdx []int32, inPtr []int64, inIdx []int32, backing any) (*Graph, error) {
+	if n < 0 || n > MaxNodeID+1 {
+		return nil, fmt.Errorf("graph: node count %d out of range", n)
+	}
+	if len(outPtr) != n+1 {
+		return nil, fmt.Errorf("graph: outPtr has %d entries, want %d", len(outPtr), n+1)
+	}
+	if outPtr[n] != int64(len(outIdx)) {
+		return nil, fmt.Errorf("graph: outPtr ends at %d but %d out-edges supplied", outPtr[n], len(outIdx))
+	}
+	g := &Graph{n: n, outPtr: outPtr, outIdx: outIdx, backing: backing}
+	if inPtr == nil && inIdx == nil {
+		g.buildCSC()
+		return g, nil
+	}
+	if len(inPtr) != n+1 {
+		return nil, fmt.Errorf("graph: inPtr has %d entries, want %d", len(inPtr), n+1)
+	}
+	if inPtr[n] != int64(len(inIdx)) {
+		return nil, fmt.Errorf("graph: inPtr ends at %d but %d in-edges supplied", inPtr[n], len(inIdx))
+	}
+	if len(inIdx) != len(outIdx) {
+		return nil, fmt.Errorf("graph: CSR has %d edges but CSC has %d", len(outIdx), len(inIdx))
+	}
+	g.inPtr, g.inIdx = inPtr, inIdx
+	return g, nil
+}
+
+// RawCSR returns the underlying CSR arrays (row pointers, column indices).
+// They alias internal storage and must not be modified; snapshot writers
+// use them to serialize the adjacency without a copy.
+func (g *Graph) RawCSR() (outPtr []int64, outIdx []int32) { return g.outPtr, g.outIdx }
+
+// RawCSC returns the underlying CSC arrays (column pointers, row indices),
+// under the same aliasing contract as RawCSR.
+func (g *Graph) RawCSC() (inPtr []int64, inIdx []int32) { return g.inPtr, g.inIdx }
+
+// Backing returns the retained owner of adopted arrays (see FromCSRArrays),
+// or nil for graphs that own their storage.
+func (g *Graph) Backing() any { return g.backing }
+
+// NewWalkFromParts adopts precomputed normalization state — invdeg,
+// invdeg32 and the ascending dangling-node list, exactly what NewWalk
+// derives in O(n) — so a walk over a mapped snapshot allocates nothing.
+// Lengths are checked; values are trusted (they ride under the snapshot's
+// section checksums).
+func NewWalkFromParts(g *Graph, policy DanglingPolicy, invdeg []float64, invdeg32 []float32, dangling []int32) (*Walk, error) {
+	n := g.NumNodes()
+	if len(invdeg) != n || len(invdeg32) != n {
+		return nil, fmt.Errorf("graph: normalization arrays have %d/%d entries, want %d",
+			len(invdeg), len(invdeg32), n)
+	}
+	if len(dangling) > n {
+		return nil, fmt.Errorf("graph: %d dangling nodes exceed node count %d", len(dangling), n)
+	}
+	prev := int32(-1)
+	for _, u := range dangling {
+		if u <= prev || int(u) >= n {
+			return nil, fmt.Errorf("graph: dangling list not strictly ascending in [0,%d)", n)
+		}
+		prev = u
+	}
+	return &Walk{g: g, policy: policy, invdeg: invdeg, invdeg32: invdeg32, dangling: dangling}, nil
+}
+
+// RawNormalization returns the walk's normalization arrays (1/outdeg in
+// both precisions and the ascending dangling list). They alias internal
+// storage and must not be modified.
+func (w *Walk) RawNormalization() (invdeg []float64, invdeg32 []float32, dangling []int32) {
+	return w.invdeg, w.invdeg32, w.dangling
+}

@@ -1,0 +1,14 @@
+//go:build linux
+
+package mmapio
+
+import "syscall"
+
+// advise tells the kernel the mapping will be needed soon, so the checksum
+// pass and the first queries fault pages in with readahead instead of one
+// major fault at a time.
+func advise(data []byte) {
+	if len(data) > 0 {
+		_ = syscall.Madvise(data, syscall.MADV_WILLNEED)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package mmapio
+
+// advise is a no-op where madvise is unavailable or its constants differ.
+func advise(data []byte) {}

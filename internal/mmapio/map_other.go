@@ -1,0 +1,14 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package mmapio
+
+import "os"
+
+// mapFile on platforms without a usable mmap: read the whole file into the
+// heap. The container still decodes identically; only the zero-copy page
+// sharing is lost.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return readAll(f, size)
+}
+
+func unmapFile(data []byte) error { return nil }

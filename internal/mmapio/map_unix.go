@@ -1,0 +1,32 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only and shared, advising the kernel that the pages
+// will be needed (the checksum verification pass touches them all anyway).
+// Empty files cannot be mapped; fall back to the heap read so a truncated
+// file still fails with the decoder's typed error rather than EINVAL.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return readAll(f, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support: degrade to the heap read.
+		return readAll(f, size)
+	}
+	advise(data)
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

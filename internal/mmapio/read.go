@@ -1,0 +1,20 @@
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// readAll reads the whole file into one heap buffer — the shared fallback
+// when mmap is unavailable. A single allocation of the file's own size keeps
+// the "allocations bounded by input size" contract of the decoder.
+func readAll(f *os.File, size int64) ([]byte, bool, error) {
+	if size < 0 {
+		size = 0
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}

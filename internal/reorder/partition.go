@@ -71,25 +71,52 @@ func LabelPropagation(g *graph.Graph, maxPart, rounds int) (*Partition, error) {
 	for u := range label {
 		label[u] = u
 	}
-	counts := make(map[int]int)
+	// Dense epoch-stamped scratch instead of a per-node map: labels are node
+	// ids, so counts index directly and only the labels touched for the
+	// current node are ever reset. This keeps the sweep O(edges) — a map
+	// here costs hours on a 100M-edge graph because clear() never shrinks
+	// below the largest neighborhood seen.
+	counts := make([]int32, n)
+	stamp := make([]int32, n)
+	touched := make([]int, 0, 64)
+	epoch := int32(0)
 	for round := 0; round < rounds; round++ {
 		changed := false
 		for u := 0; u < n; u++ {
+			if epoch == 1<<31-1 {
+				for i := range stamp {
+					stamp[i] = 0
+				}
+				epoch = 0
+			}
+			epoch++
+			touched = touched[:0]
 			// Most frequent label among undirected neighbors; ties go to
 			// the smallest label for determinism.
-			clear(counts)
 			for _, v := range g.OutNeighbors(u) {
-				counts[label[v]]++
+				l := label[v]
+				if stamp[l] != epoch {
+					stamp[l] = epoch
+					counts[l] = 0
+					touched = append(touched, l)
+				}
+				counts[l]++
 			}
 			for _, v := range g.InNeighbors(u) {
-				counts[label[v]]++
+				l := label[v]
+				if stamp[l] != epoch {
+					stamp[l] = epoch
+					counts[l] = 0
+					touched = append(touched, l)
+				}
+				counts[l]++
 			}
-			if len(counts) == 0 {
+			if len(touched) == 0 {
 				continue
 			}
-			best, bestCnt := label[u], 0
-			for l, c := range counts {
-				if c > bestCnt || (c == bestCnt && l < best) {
+			best, bestCnt := label[u], int32(0)
+			for _, l := range touched {
+				if c := counts[l]; c > bestCnt || (c == bestCnt && l < best) {
 					best, bestCnt = l, c
 				}
 			}

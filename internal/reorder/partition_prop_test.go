@@ -1,0 +1,100 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpa/internal/gen"
+	"tpa/internal/graph"
+)
+
+// TestLabelPropagationProperties sweeps random graphs, caps and round
+// counts, checking the invariants every caller (shard planning above all)
+// builds on: each node lands in exactly one part, no part exceeds the cap,
+// the recorded sizes match reality, and repeating the call reproduces the
+// same partition bit for bit.
+func TestLabelPropagationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	graphs := []*graph.Graph{
+		gen.SBM(gen.SBMConfig{Nodes: 2, Communities: 1, AvgOutDeg: 1, PIn: 1, Seed: 1}),
+		gen.ErdosRenyi(37, 80, 4),
+		gen.SBM(gen.SBMConfig{Nodes: 211, Communities: 5, AvgOutDeg: 6, PIn: 0.8, Seed: 17}),
+		gen.CommunityRMAT(300, 2400, 5, 0.25, 8),
+		// Star graph: extreme degree skew, one giant community.
+		func() *graph.Graph {
+			b := graph.NewBuilderN(64)
+			for i := 1; i < 64; i++ {
+				b.AddEdge(i, 0)
+			}
+			return b.Build()
+		}(),
+		// Edgeless graph: propagation has nothing to propagate.
+		graph.NewBuilderN(25).Build(),
+	}
+	for gi, g := range graphs {
+		n := g.NumNodes()
+		for trial := 0; trial < 4; trial++ {
+			maxPart := 1 + rng.Intn(n)
+			rounds := 1 + rng.Intn(12)
+			p, err := LabelPropagation(g, maxPart, rounds)
+			if err != nil {
+				t.Fatalf("graph %d maxPart=%d rounds=%d: %v", gi, maxPart, rounds, err)
+			}
+			if err := p.Validate(n, maxPart); err != nil {
+				t.Fatalf("graph %d maxPart=%d rounds=%d: %v", gi, maxPart, rounds, err)
+			}
+			// Exactly-once coverage: the Part array is total, so it suffices
+			// that sizes sum to n and every id is in range (Validate checked
+			// ranges; the sum is checked here).
+			var sum int
+			for _, s := range p.Sizes {
+				sum += s
+				if s == 0 {
+					t.Errorf("graph %d maxPart=%d: empty part recorded", gi, maxPart)
+				}
+			}
+			if sum != n {
+				t.Errorf("graph %d maxPart=%d: sizes sum to %d, want %d", gi, maxPart, sum, n)
+			}
+			// Determinism: the partition is part of the snapshot format's
+			// reproducibility story, so a repeat run must match exactly.
+			q, err := LabelPropagation(g, maxPart, rounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range p.Part {
+				if p.Part[u] != q.Part[u] {
+					t.Fatalf("graph %d maxPart=%d rounds=%d: nondeterministic (node %d: %d vs %d)",
+						gi, maxPart, rounds, u, p.Part[u], q.Part[u])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionValidateRejectsMalformed feeds Validate each way a partition
+// can be broken. Validate is the guard between untrusted snapshot metadata
+// and kernel indexing, so every corruption must be caught, not normalized.
+func TestPartitionValidateRejectsMalformed(t *testing.T) {
+	good := &Partition{Part: []int{0, 0, 1, 1, 1}, Sizes: []int{2, 3}}
+	if err := good.Validate(5, 3); err != nil {
+		t.Fatalf("well-formed partition rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		p      *Partition
+		n, cap int
+	}{
+		{"covers too few nodes", &Partition{Part: []int{0, 0, 1}, Sizes: []int{2, 1}}, 5, 3},
+		{"covers too many nodes", &Partition{Part: []int{0, 0, 1, 1, 1, 0}, Sizes: []int{3, 3}}, 5, 3},
+		{"negative part id", &Partition{Part: []int{0, -1, 1, 1, 1}, Sizes: []int{1, 3}}, 5, 3},
+		{"part id out of range", &Partition{Part: []int{0, 0, 2, 1, 1}, Sizes: []int{2, 3}}, 5, 3},
+		{"sizes disagree with assignment", &Partition{Part: []int{0, 0, 1, 1, 1}, Sizes: []int{3, 2}}, 5, 3},
+		{"part over the cap", &Partition{Part: []int{0, 0, 1, 1, 1}, Sizes: []int{2, 3}}, 5, 2},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(tc.n, tc.cap); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+}

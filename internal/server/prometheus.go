@@ -147,6 +147,51 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	graphGauge("tpa_graph_error_bound", "Theorem-2 L1 error bound 2(1-c)^S per graph.",
 		func(st *engineState) float64 { return st.eng.ErrorBound() })
 
+	// Shard and storage layout (sharded / memory-mapped engines). Shard
+	// count and storage split are reported for every graph (1 shard / all
+	// heap when the engine has no layout to speak of); the per-shard series
+	// carry a shard label and appear only for actually sharded engines,
+	// under always-present family headers.
+	graphGauge("tpa_shard_count", "Scatter-gather shards the graph's engine fans queries across (1 = unsharded).",
+		func(st *engineState) float64 {
+			if se, ok := st.eng.(shardInfo); ok {
+				return float64(se.NumShards())
+			}
+			return 1
+		})
+	shardSeries := func(name, help string, get func(nodes int, edges int64) float64) {
+		p.header(name, help, "gauge")
+		for _, e := range entries {
+			se, ok := e.state.Load().eng.(shardInfo)
+			if !ok || se.NumShards() <= 1 {
+				continue
+			}
+			nodes, edges := se.ShardLayout()
+			for i := range nodes {
+				p.sample(name, promLabel("graph", e.name)+","+promLabel("shard", strconv.Itoa(i)),
+					get(nodes[i], edges[i]))
+			}
+		}
+	}
+	shardSeries("tpa_shard_nodes", "Nodes per shard of each sharded graph.",
+		func(nodes int, _ int64) float64 { return float64(nodes) })
+	shardSeries("tpa_shard_edges", "Out-edges per shard of each sharded graph.",
+		func(_ int, edges int64) float64 { return float64(edges) })
+	storageGauge := func(name, help string, get func(mapped, heap int64) float64) {
+		p.header(name, help, "gauge")
+		for _, e := range entries {
+			var mapped, heap int64
+			if se, ok := e.state.Load().eng.(storageInfo); ok {
+				mapped, heap = se.StorageBytes()
+			}
+			p.sample(name, promLabel("graph", e.name), get(mapped, heap))
+		}
+	}
+	storageGauge("tpa_shard_mmap_bytes", "Engine storage served from a file mapping (shared page cache), per graph.",
+		func(mapped, _ int64) float64 { return float64(mapped) })
+	storageGauge("tpa_shard_heap_bytes", "Engine storage on the private heap, per graph.",
+		func(_, heap int64) float64 { return float64(heap) })
+
 	// Per-graph cache counters. Graphs without a cache partition report
 	// zero capacity rather than omitting the series: absent series make
 	// rate() queries silently vanish.

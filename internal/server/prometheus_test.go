@@ -116,17 +116,26 @@ var goldenMetrics = map[string]string{
 	"tpa_method_index_bytes":        "gauge",
 	"tpa_method_preprocess_seconds": "gauge",
 
+	// Shard / storage layout (sharded and memory-mapped engines). Count and
+	// byte-split samples appear for every graph; the per-shard node/edge
+	// series appear only under sharded engines, headers always.
+	"tpa_shard_count":      "gauge",
+	"tpa_shard_nodes":      "gauge",
+	"tpa_shard_edges":      "gauge",
+	"tpa_shard_mmap_bytes": "gauge",
+	"tpa_shard_heap_bytes": "gauge",
+
 	// Durable-ingest pipeline (EnableIngest): queue depth, WAL lag and
 	// auto-compaction visibility. Headers are always present; samples
 	// appear per ingest-enabled graph.
-	"tpa_ingest_queue_depth":          "gauge",
-	"tpa_ingest_queue_capacity":       "gauge",
-	"tpa_ingest_enqueued_total":       "counter",
-	"tpa_ingest_dropped_total":        "counter",
-	"tpa_ingest_rejected_total":       "counter",
-	"tpa_ingest_applied_edges_total":  "counter",
-	"tpa_ingest_apply_errors_total":   "counter",
-	"tpa_ingest_wal_lag_bytes":        "gauge",
+	"tpa_ingest_queue_depth":           "gauge",
+	"tpa_ingest_queue_capacity":        "gauge",
+	"tpa_ingest_enqueued_total":        "counter",
+	"tpa_ingest_dropped_total":         "counter",
+	"tpa_ingest_rejected_total":        "counter",
+	"tpa_ingest_applied_edges_total":   "counter",
+	"tpa_ingest_apply_errors_total":    "counter",
+	"tpa_ingest_wal_lag_bytes":         "gauge",
 	"tpa_ingest_compactions_total":     "counter",
 	"tpa_ingest_compact_errors_total":  "counter",
 	"tpa_ingest_compact_blocked_total": "counter",

@@ -275,6 +275,22 @@ func (h *Handler) graphStats(w http.ResponseWriter, r *http.Request) {
 		"cache":       cache,
 		"methods":     methodsJSON(st),
 	}
+	if se, ok := st.eng.(storageInfo); ok {
+		mapped, heap := se.StorageBytes()
+		resp["storage"] = map[string]interface{}{
+			"mmap_bytes": mapped,
+			"heap_bytes": heap,
+			"mapped":     se.Mapped(),
+		}
+	}
+	if se, ok := st.eng.(shardInfo); ok {
+		shards := map[string]interface{}{"count": se.NumShards()}
+		if nodes, edges := se.ShardLayout(); nodes != nil {
+			shards["nodes"] = nodes
+			shards["edges"] = edges
+		}
+		resp["shards"] = shards
+	}
 	if in := e.ingest.Load(); in != nil {
 		resp["ingest"] = ingestJSON(in)
 	}

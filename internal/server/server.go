@@ -61,6 +61,24 @@ type DeadlineEngine interface {
 	TopKBatchDeadline(ctx context.Context, seeds []int, k, parallelism int) ([][]sparse.Entry, []core.QueryMeta, error)
 }
 
+// shardInfo is the optional capability interface for scatter-gather
+// engines: how many shards queries fan out across and the node/edge split
+// between them. *tpa.Engine implements it (reporting one shard when built
+// unsharded); engines without it are treated as single-shard.
+type shardInfo interface {
+	NumShards() int
+	ShardLayout() (nodes []int, edges []int64)
+}
+
+// storageInfo is the optional capability interface for engines that know
+// where their bytes live: mapped is storage served zero-copy from a file
+// mapping (shared page cache), heap is private allocations. *tpa.Engine
+// implements it.
+type storageInfo interface {
+	StorageBytes() (mapped, heap int64)
+	Mapped() bool
+}
+
 // DeadlineHeader is the request header carrying a per-query budget in
 // milliseconds. It overrides Options.DefaultDeadline; an explicit 0
 // disables the deadline for that request.

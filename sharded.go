@@ -1,0 +1,98 @@
+package tpa
+
+import (
+	"fmt"
+
+	"tpa/internal/core"
+	"tpa/internal/graph"
+	"tpa/internal/reorder"
+	"tpa/internal/shard"
+)
+
+// shardLPRounds is the label-propagation sweep count NewSharded uses to
+// discover community structure before cutting shard boundaries — the same
+// default as the NB-LIN partitioner.
+const shardLPRounds = 10
+
+// NewSharded is New with the graph partitioned into shards contiguous node
+// ranges that every Ãᵀ application scatter-gathers across: preprocessing
+// and queries fan out one goroutine per shard, each filling only its own
+// destination range. Shard boundaries follow community structure (label
+// propagation, merged into exactly shards balanced groups), so each shard's
+// working set stays dense — node ids remain the caller's, remapped at the
+// API boundary exactly like Options.Order.
+//
+// Answers agree with an unsharded engine to float-summation order: the
+// gather kernel computes every destination row independently, so the
+// partition changes scheduling, not arithmetic. shards ≤ 1 builds a plain
+// engine. Sharding supplies its own layout, so it cannot combine with
+// Options.Order or Options.Tile, and sharded engines reject ApplyEdges —
+// rebuild to mutate.
+func NewSharded(g *Graph, shards int, o Options) (*Engine, error) {
+	if shards <= 1 {
+		return New(g, o)
+	}
+	if ord, err := reorder.ParseOrder(o.Order); err != nil {
+		return nil, fmt.Errorf("tpa: %w", err)
+	} else if ord != reorder.OrderNatural {
+		return nil, fmt.Errorf("tpa: Options.Order %q cannot combine with sharding (the shard plan is the ordering)", o.Order)
+	}
+	if o.Tile != 0 {
+		return nil, fmt.Errorf("tpa: Options.Tile cannot combine with sharding (shards already block the gather)")
+	}
+	cfg, params := o.split()
+	plan, err := shard.PlanShards(g, shards, shardLPRounds)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: sharding: %w", err)
+	}
+	pg := g
+	var inv []int32
+	if plan.Perm != nil {
+		if pg, err = graph.Permute(g, plan.Perm); err != nil {
+			return nil, fmt.Errorf("tpa: sharding: %w", err)
+		}
+		inv = graph.InvertPermutation(plan.Perm)
+	}
+	w := graph.NewWalk(pg, graph.DanglingSelfLoop)
+	op, err := shard.NewOperator(w, plan.Bounds)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: sharding: %w", err)
+	}
+	tp, err := core.PreprocessParallel(op, cfg, params, o.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("tpa: preprocessing: %w", err)
+	}
+	if err := tp.SetPrecision(o.Precision); err != nil {
+		return nil, fmt.Errorf("tpa: %w", err)
+	}
+	e := &Engine{tpa: tp, walk: w, shardOp: op, workers: o.Workers,
+		perm: plan.Perm, inv: inv}
+	e.applyMutationOpts(o)
+	return e, nil
+}
+
+// NumShards returns the number of scatter-gather shards the engine fans
+// queries across: 1 for unsharded engines.
+func (e *Engine) NumShards() int {
+	if e.shardOp == nil {
+		return 1
+	}
+	return e.shardOp.NumShards()
+}
+
+// ShardLayout returns per-shard node and out-edge counts (indexed by shard),
+// or nil for unsharded engines. For introspection, stats endpoints and
+// tests; the counts describe the internal (shard-contiguous) layout.
+func (e *Engine) ShardLayout() (nodes []int, edges []int64) {
+	if e.shardOp == nil {
+		return nil, nil
+	}
+	stats := e.shardOp.ShardStats()
+	nodes = make([]int, len(stats))
+	edges = make([]int64, len(stats))
+	for i, s := range stats {
+		nodes[i] = s.Nodes
+		edges[i] = s.Edges
+	}
+	return nodes, edges
+}

@@ -34,8 +34,10 @@ import (
 	"tpa/internal/gen"
 	"tpa/internal/graph"
 	"tpa/internal/method"
+	"tpa/internal/mmapio"
 	"tpa/internal/reorder"
 	"tpa/internal/rwr"
+	"tpa/internal/shard"
 	"tpa/internal/sparse"
 	"tpa/internal/stream"
 )
@@ -202,6 +204,13 @@ type Engine struct {
 	// tile is the Options.Tile in effect (propagated through ApplyEdges and
 	// Compact so mutated engines keep the kernel configuration).
 	tile int
+	// shardOp is the scatter-gather operator of a sharded engine (nil
+	// otherwise); walk stays the base walk so snapshots, stats and
+	// ?method= keep working unchanged.
+	shardOp *shard.Operator
+	// snap pins the memory-mapped snapshot an mmap-loaded engine serves
+	// from (nil for heap engines); Close releases the mapping.
+	snap *mmapio.Snapshot
 }
 
 // Order returns the build-time node ordering the engine was constructed
@@ -592,7 +601,9 @@ type MutationStats struct {
 }
 
 // ErrNotMutable is wrapped by ApplyEdges on engines that cannot take
-// dynamic updates (streaming engines). Test with errors.Is.
+// dynamic updates: streaming engines, memory-mapped engines (the snapshot
+// is a read-only serving artifact) and sharded engines (the shard plan is
+// computed at build time). Test with errors.Is.
 var ErrNotMutable = errors.New("tpa: engine does not support dynamic updates")
 
 // ErrBadEdge is wrapped by ApplyEdges when a batch references a node
@@ -620,6 +631,12 @@ var ErrBadEdge = graph.ErrBadEdge
 // ErrNotMutable.
 func (e *Engine) ApplyEdges(adds, removes [][2]int) (*Engine, MutationStats, error) {
 	var stats MutationStats
+	if e.snap != nil {
+		return nil, stats, fmt.Errorf("memory-mapped engine (rebuild and re-snapshot to mutate): %w", ErrNotMutable)
+	}
+	if e.shardOp != nil {
+		return nil, stats, fmt.Errorf("sharded engine (the shard plan is fixed at build time): %w", ErrNotMutable)
+	}
 	var d *graph.Delta
 	var policy graph.DanglingPolicy
 	switch {
@@ -780,10 +797,15 @@ func (e *Engine) SaveSnapshotFile(path string) error {
 }
 
 // LoadSnapshotFile reconstructs an engine from a snapshot file written by
-// SaveSnapshotFile. The file size bounds the header's length fields, so a
-// corrupt or crafted file fails typed instead of attempting a giant
-// allocation.
+// SaveSnapshotFile or SaveSnapshotMmap, auto-detected from the magic
+// number: TPAM containers are memory-mapped (see LoadSnapshotMmap), legacy
+// TPAS snapshots are decoded onto the heap. The file size bounds the
+// header's length fields, so a corrupt or crafted file fails typed instead
+// of attempting a giant allocation.
 func LoadSnapshotFile(path string) (*Engine, error) {
+	if ok, err := isMmapSnapshot(path); err == nil && ok {
+		return LoadSnapshotMmap(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
